@@ -1,0 +1,176 @@
+"""Ablations of this reproduction's own design choices (see DESIGN.md).
+
+Not a paper figure: these benches justify the modeling decisions the other
+experiments stand on.
+
+* folded N/2-point vs twisted N-point negacyclic pipelines (the paper's
+  "an N/2-point FFT has fewer than half the multiplications of an N-point
+  NTT");
+* the combined sparse+fixed-point engine vs the dense fixed-point engine
+  (merging's single-ROM-lookup accuracy advantage);
+* per-stage DSE bit-widths vs the best uniform width at matched error;
+* the output-packing assumption in the Table IV latency model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.dse import explore_layer, stride1_phase
+from repro.fftcore import (
+    ApproxFftConfig,
+    FixedPointFft,
+    fft_multiplication_count,
+    negacyclic_multiply_folded,
+    negacyclic_multiply_twisted,
+)
+from repro.hw import FlashAccelerator, conv_layer_workload
+from repro.nn import get_layer, resnet18_conv_layers
+from repro.sparse import SparseFixedPointFft
+
+
+def test_ablation_folded_vs_twisted(benchmark):
+    """The folded pipeline halves transform length at equal accuracy."""
+    n = 1024
+    rng = np.random.default_rng(0)
+    a = rng.integers(-100, 100, size=n)
+    b = rng.integers(-8, 8, size=n)
+    folded = benchmark(negacyclic_multiply_folded, a, b)
+    twisted = negacyclic_multiply_twisted(a, b)
+    np.testing.assert_allclose(folded, twisted, atol=1e-4)
+    folded_mults = 3 * fft_multiplication_count(n // 2) + n // 2
+    twisted_mults = 3 * fft_multiplication_count(n) + n
+    print(f"\nfolded pipeline: {folded_mults} mults/PolyMul vs twisted "
+          f"{twisted_mults} ({folded_mults / twisted_mults:.2f}x)")
+    # An N/2-point core costs less than half the N-point transforms.
+    assert fft_multiplication_count(n // 2) < fft_multiplication_count(n) / 2
+
+
+def test_ablation_sparse_engine_accuracy(benchmark):
+    """Merging quantizes a chain once via the ROM: never worse than dense."""
+    cfg = ApproxFftConfig(n=256, stage_widths=24, twiddle_k=5)
+    rng = np.random.default_rng(1)
+    wins = 0
+    trials = 6
+    for seed in range(trials):
+        local = np.random.default_rng(seed)
+        idx = local.choice(256, size=5, replace=False)
+        x = np.zeros(256, dtype=np.complex128)
+        x[idx] = 0.1 * local.standard_normal(5)
+        exact = np.fft.fft(x) / 256
+        sparse_vals = SparseFixedPointFft(cfg, sign=-1).run(x).values
+        dense_vals = FixedPointFft(cfg, sign=-1)(x)
+        if np.abs(sparse_vals - exact).max() <= (
+            np.abs(dense_vals - exact).max() + 1e-12
+        ):
+            wins += 1
+    engine = SparseFixedPointFft(cfg, sign=-1)
+    x = np.zeros(256, dtype=np.complex128)
+    x[rng.choice(256, 5, replace=False)] = 0.1
+    benchmark(engine.run, x)
+    print(f"\nsparse engine at least as accurate as dense: "
+          f"{wins}/{trials} sparse patterns")
+    assert wins >= trials - 1
+
+
+def test_ablation_per_stage_widths_beat_uniform(benchmark):
+    """Per-stage freedom pays: noise injected at stage i is attenuated by
+    2^-(S-i), so tapering widths upward (narrow early, wide late) lowers
+    the error at *identical* power -- the reason the DSE searches
+    per-stage widths instead of one knob ("the fault tolerance ability
+    varies from different stages in FFT", Section IV-C2).
+
+    The effect shows once data-path quantization is not masked by coarse
+    twiddles, so we evaluate at k=18 (the paper's no-training setting).
+    """
+    from repro.dse import LayerDseProblem
+    from repro.dse.space import DesignPoint
+
+    layer = get_layer("resnet50", 41)
+    phase = stride1_phase(layer.shape)
+    problem = LayerDseProblem(shape=phase, n=4096)
+    stages = problem.space.stages
+
+    def taper(mean, spread):
+        return tuple(
+            int(round(mean - spread + 2 * spread * i / (stages - 1)))
+            for i in range(stages)
+        )
+
+    rows = []
+    wins = []
+    for mean in (14, 16, 20):
+        uniform = DesignPoint((mean,) * stages, 18)
+        tapered = DesignPoint(taper(mean, 4), 18)
+        u_power, u_error = problem.objective(uniform)
+        t_power, t_error = benchmark.pedantic(
+            problem.objective, args=(tapered,), rounds=1, iterations=1
+        ) if mean == 14 else problem.objective(tapered)
+        assert t_power == pytest.approx(u_power, rel=1e-9)
+        rows.append(
+            [mean, f"{u_power:.3f}", f"{u_error:.3e}", f"{t_error:.3e}",
+             f"{u_error / t_error:.1f}x"]
+        )
+        wins.append(t_error < u_error)
+    print("\nuniform vs tapered per-stage widths (equal power, k=18):")
+    print(format_table(
+        ["mean dw", "power mW", "uniform err", "tapered err", "gain"], rows
+    ))
+    assert all(wins)
+
+
+def test_ablation_output_packing_latency(benchmark):
+    """The Cheetah output-packing assumption drives the FP-side latency."""
+    acc = FlashAccelerator()
+
+    def build(packing):
+        return [
+            conv_layer_workload(layer.shape, 4096, output_packing=packing)
+            for layer in resnet18_conv_layers()
+        ]
+
+    packed = benchmark.pedantic(build, args=(True,), rounds=1, iterations=1)
+    unpacked = build(False)
+    lat_packed = acc.network_latency_s(packed) * 1e3
+    lat_unpacked = acc.network_latency_s(unpacked) * 1e3
+    print(f"\nResNet-18 transform latency: packed {lat_packed:.2f} ms vs "
+          f"unpacked {lat_unpacked:.2f} ms "
+          f"({lat_unpacked / lat_packed:.2f}x)")
+    assert lat_unpacked >= lat_packed
+
+
+def test_ablation_pe_scaling(benchmark, resnet50_workloads):
+    """Architecture scaling: weight-PE count vs latency and area.
+
+    Latency scales ~1/PEs while the weight subsystem binds, then the FP
+    side becomes the bottleneck -- the knee that justifies the paper's
+    60-PE/4-FP-PE split.
+    """
+    from repro.hw import FlashDesign
+
+    rows = []
+    latencies = {}
+    for pes in (15, 30, 60, 120, 240):
+        acc = FlashAccelerator(FlashDesign(approx_pes=pes))
+        if pes == 60:
+            lat = benchmark.pedantic(
+                acc.network_latency_s, args=(resnet50_workloads,),
+                rounds=1, iterations=1,
+            )
+        else:
+            lat = acc.network_latency_s(resnet50_workloads)
+        latencies[pes] = lat
+        rows.append(
+            [pes, f"{lat * 1e3:.2f}", f"{acc.area_mm2('approx_bu'):.2f}"]
+        )
+    from repro.analysis import format_table
+
+    print("\nweight-PE scaling (ResNet-50 transform latency):")
+    print(format_table(["approx PEs", "latency ms", "weight area mm^2"], rows))
+    # More PEs monotonically reduce latency...
+    lats = [latencies[p] for p in (15, 30, 60, 120, 240)]
+    assert all(a >= b for a, b in zip(lats, lats[1:]))
+    # ...but with diminishing returns once the FP side binds.
+    gain_first = latencies[15] / latencies[30]
+    gain_last = latencies[120] / latencies[240]
+    assert gain_first >= gain_last

@@ -1,0 +1,96 @@
+"""Figures 11(b) and 11(c): design-space exploration for ResNet-50 layers
+28 and 41.
+
+The paper plots ~1000 explored (normalized weight-FFT power, HConv output
+error variance) points per layer; we run the same Bayesian-optimization
+workflow at a CI-friendly budget, print the Pareto front, and verify the
+trade-off shape plus the advantage over random search.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.dse import explore_layer, hypervolume_2d, stride1_phase
+from repro.hw import spatial_tiles
+from repro.nn import get_layer
+
+BUDGET = 48
+
+
+def _layer_phase(index):
+    layer = get_layer("resnet50", index)
+    phase = stride1_phase(layer.shape)
+    if phase.padded_height * phase.padded_width > 4096:
+        phase, _ = spatial_tiles(phase, 4096)
+    return layer, phase
+
+
+@pytest.fixture(scope="module", params=[28, 41])
+def dse_result(request):
+    layer, phase = _layer_phase(request.param)
+    result = explore_layer(phase, n=4096, budget=BUDGET, seed=request.param)
+    return request.param, layer, result
+
+
+def test_fig11bc_front_report(benchmark, dse_result):
+    index, layer, result = dse_result
+    points, front = benchmark(result.front)
+    print()
+    print(f"=== Figure 11({'b' if index == 28 else 'c'}): DSE for ResNet-50 "
+          f"layer {index} ({layer.name}) ===")
+    print(f"explored {len(result.run.points)} configurations "
+          f"(paper plots 1000); Pareto front size {len(points)}")
+    rows = []
+    for point, (power, err) in zip(points[:8], front[:8]):
+        rows.append(
+            [f"{power:.3f}", f"{err:.3e}",
+             f"{min(point.stage_widths)}..{max(point.stage_widths)}",
+             point.twiddle_k]
+        )
+    print(format_table(["power mW", "error var", "dw range", "k"], rows))
+
+    # The defining trade-off: moving along the front trades power for error.
+    assert len(points) >= 2
+    assert front[0, 0] <= front[-1, 0]
+    assert front[0, 1] >= front[-1, 1]
+
+
+def test_fig11bc_constrained_pick(benchmark, dse_result):
+    index, _, result = dse_result
+    arr = result.run.as_array()
+    threshold = float(np.percentile(arr[:, 1], 30))
+    best = benchmark(result.best_under_error, threshold)
+    assert best is not None
+    power, err = result.problem.objective(best)
+    print(f"\nlayer {index}: min power {power:.3f} mW under error<{threshold:.2e}"
+          f" -> dw={list(best.stage_widths)}, k={best.twiddle_k}")
+    assert err < threshold
+
+
+def test_fig11bc_bayes_vs_random(benchmark):
+    _, phase = _layer_phase(41)
+    bo = benchmark.pedantic(
+        explore_layer, args=(phase,),
+        kwargs={"n": 4096, "budget": BUDGET, "method": "bayes", "seed": 7},
+        rounds=1, iterations=1,
+    )
+    rs = explore_layer(phase, n=4096, budget=BUDGET, method="random", seed=7)
+    both = np.vstack([bo.run.as_array(), rs.run.as_array()])
+    ref = tuple(both.max(axis=0) * 1.1)
+    hv_bo = hypervolume_2d(bo.run.as_array(), ref)
+    hv_rs = hypervolume_2d(rs.run.as_array(), ref)
+    print(f"\nhypervolume: bayes {hv_bo:.3g} vs random {hv_rs:.3g}")
+    assert hv_bo >= 0.9 * hv_rs  # BO is at least competitive at equal budget
+
+
+def test_fig11bc_objective_benchmark(benchmark):
+    """Time one DSE objective evaluation (LUT power + analytic error)."""
+    _, phase = _layer_phase(41)
+    from repro.dse import LayerDseProblem
+
+    problem = LayerDseProblem(shape=phase, n=4096)
+    rng = np.random.default_rng(0)
+    point = problem.space.sample(rng)
+    power, err = benchmark(problem.objective, point)
+    assert power > 0 and err >= 0

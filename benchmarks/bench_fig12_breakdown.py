@@ -1,0 +1,66 @@
+"""Figure 12: area and power breakdown of the FLASH accelerator.
+
+Components of the Figure 6 architecture -- approximate BUs (weight
+transforms), FP BUs (activation/inverse transforms), FP multiplier array
+(point-wise products), accumulators, memory/control.  The paper's
+observation: the weight-transform units shrink so much that point-wise
+multiplication becomes the new power bottleneck among compute units.
+"""
+
+import pytest
+
+from repro.analysis import format_bar_chart, format_table
+from repro.hw import FlashAccelerator
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return FlashAccelerator()
+
+
+def test_fig12_breakdown_report(benchmark, acc):
+    costs = benchmark(acc.component_costs)
+    print()
+    print("=== Figure 12: FLASH area / power breakdown ===")
+    print(
+        format_table(
+            ["component", "area mm^2", "power W"],
+            [[c.name, f"{c.area_mm2:.3f}", f"{c.power_w:.3f}"] for c in costs],
+        )
+    )
+    total_area = acc.area_mm2()
+    total_power = acc.power_w()
+    print(f"total: {total_area:.2f} mm^2 / {total_power:.2f} W "
+          "(paper Table III: 4.22 mm^2 / 2.56 W at 28nm)")
+    print()
+    print("power shares:")
+    print(
+        format_bar_chart(
+            [c.name for c in costs],
+            [c.power_w / total_power * 100 for c in costs],
+            unit="%",
+        )
+    )
+    by_name = {c.name: c for c in costs}
+    # Among compute components, the FP side outweighs the shrunken
+    # approximate weight-transform units per BU...
+    per_bu_approx = by_name["approx_bu"].power_w / (60 * 4)
+    per_bu_fp = by_name["fp_bu"].power_w / (4 * 4)
+    assert per_bu_fp > 3 * per_bu_approx
+    # ...and totals land within a factor ~2 of the paper's build.
+    assert 2.0 < total_area < 8.5
+    assert 1.3 < total_power < 5.2
+
+
+def test_fig12_weight_subsystem_vs_paper(benchmark, acc):
+    area = benchmark(acc.area_mm2, "approx_bu")
+    power = acc.power_w("approx_bu")
+    print(f"\nweight-transform subsystem: {area:.2f} mm^2 / {power:.2f} W "
+          "(paper: 0.74 mm^2 / 0.27 W)")
+    assert 0.3 < area < 1.6
+    assert 0.1 < power < 0.7
+
+
+def test_fig12_model_benchmark(benchmark, acc):
+    costs = benchmark(acc.component_costs)
+    assert len(costs) == 5

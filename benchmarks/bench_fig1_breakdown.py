@@ -1,0 +1,85 @@
+"""Figure 1: latency breakdown of a ResNet-50 residual block under Cheetah.
+
+Paper's observations to reproduce:
+* computation dominates communication;
+* NTTs of *weight* polynomials are the single largest component
+  (HConvs > 29.7 s on CPUs for one block);
+* storing weights pre-transformed would cost ~23 GB (>1000x blow-up).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CpuCostModel,
+    format_fractions,
+    ntt_domain_weight_storage_gb,
+    raw_weight_storage_gb,
+    residual_block_profile,
+)
+from repro.ntt import find_ntt_primes, get_ntt
+
+
+@pytest.fixture(scope="module")
+def cpu_cost():
+    return CpuCostModel.measure(n=4096, repeats=5)
+
+
+def test_fig1_breakdown_report(benchmark, cpu_cost):
+    profile = benchmark(residual_block_profile, "resnet50", cost=cpu_cost)
+    print()
+    print("=== Figure 1: ResNet-50 residual block latency breakdown ===")
+    print(f"modeled CPU time for one block: {profile.total_s:.2f} s "
+          "(paper: >29.7 s on their CPU)")
+    print(format_fractions(profile.fractions()))
+    gb = ntt_domain_weight_storage_gb("resnet50")
+    raw = raw_weight_storage_gb("resnet50", bits=4)
+    print(f"NTT-domain weight storage: {gb:.1f} GB (paper: ~23 GB); "
+          f"raw 4-bit weights: {raw * 1000:.1f} MB "
+          f"(blow-up {gb / raw:.0f}x, paper: >1000x)")
+
+    frac = profile.fractions()
+    assert frac["weight_ntt"] > 0.5
+    assert profile.computation_s > profile.communication_s
+    assert 15 < gb < 30
+
+
+def test_fig1_ntt_kernel_benchmark(benchmark):
+    """Time the workhorse the figure is about: one N=4096 forward NTT."""
+    (q,) = find_ntt_primes(30, 4096)
+    ntt = get_ntt(4096, q)
+    a = np.random.default_rng(0).integers(0, q, size=4096, dtype=np.uint64)
+    result = benchmark(ntt.forward, a)
+    assert result.shape == (4096,)
+
+
+def test_fig1_batch_amortization_report(benchmark, resnet50_workloads):
+    """Extension: the recompute-vs-pre-store dilemma across batch sizes.
+
+    Figure 1 motivates FLASH with two bad options (slow weight NTTs or a
+    ~23 GB NTT-domain weight cache); this table adds the third: FLASH's
+    cheap recomputation sits near the fully-amortized cache's energy floor
+    with zero weight memory.
+    """
+    from repro.analysis import format_table
+    from repro.hw import batch_tradeoff, flash_vs_cached_crossover
+
+    points = benchmark.pedantic(
+        batch_tradeoff, args=(resnet50_workloads,),
+        kwargs={"batch_sizes": (1, 8, 64, 512)},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [p.strategy, p.batch_size, f"{p.energy_mj_per_image:.1f}",
+         f"{p.weight_memory_gb:.1f}"]
+        for p in points
+    ]
+    print()
+    print("=== Figure 1 extension: batch amortization (ResNet-50) ===")
+    print(format_table(
+        ["strategy", "batch", "mJ/image", "weight mem GB"], rows
+    ))
+    x = flash_vs_cached_crossover(resnet50_workloads)
+    print(f"FLASH = {x['flash_over_floor']:.2f}x the cached-NTT energy floor "
+          f"with 0 GB instead of {x['cache_memory_gb']:.1f} GB")
+    assert x["flash_over_floor"] < 2.0

@@ -1,0 +1,95 @@
+"""Figure 7: coefficient sparsity of encoded weight polynomials.
+
+For every ResNet-50 layer, encode the weight kernel with the Cheetah
+coefficient mapping and measure the fraction of zero slots.  The paper's
+claim: weight polynomials are >90% sparse, with k*k valid values per
+H*W-sized block.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.dse import stride1_phase
+from repro.encoding import Conv2dEncoder
+from repro.nn import resnet50_conv_layers
+from repro.sparse import classify_pattern, conv_weight_pattern
+
+
+@pytest.fixture(scope="module")
+def layer_stats():
+    rows = []
+    for layer in resnet50_conv_layers():
+        phase = stride1_phase(layer.shape)
+        if phase.padded_height * phase.padded_width > 4096:
+            from repro.hw import spatial_tiles
+
+            phase, _ = spatial_tiles(phase, 4096)
+        enc = Conv2dEncoder(phase, 4096)
+        sparsity = enc.weight_sparsity(0)
+        pattern = conv_weight_pattern(enc)
+        stats = classify_pattern(enc.weight_valid_indices(0), 4096)
+        rows.append((layer.index, layer.name, sparsity, stats.kind, len(pattern)))
+    return rows
+
+
+def test_fig7_sparsity_report(benchmark, layer_stats):
+    benchmark.pedantic(lambda: layer_stats, rounds=1, iterations=1)
+    print()
+    print("=== Figure 7: weight polynomial sparsity (ResNet-50, N=4096) ===")
+    sample = layer_stats[::6]
+    print(
+        format_table(
+            ["#", "layer", "sparsity", "pattern", "folded valid"],
+            [
+                [i, name, f"{s:.4f}", kind, valid]
+                for i, name, s, kind, valid in sample
+            ],
+        )
+    )
+    sparsities = np.array([s for _, _, s, _, _ in layer_stats])
+    print(f"layers: {len(layer_stats)}, min sparsity {sparsities.min():.3f}, "
+          f"mean {sparsities.mean():.3f} (paper: >90% sparse)")
+    # Late 7x7-plane layers pack ~50 channels per polynomial and dip just
+    # below 0.9; the bulk of the network sits above 0.97.
+    assert sparsities.min() > 0.85
+    assert sparsities.mean() > 0.97
+    assert np.median(sparsities) > 0.99
+
+
+def test_fig7_structure_k_contiguous_per_row(benchmark):
+    """The Section IV-B structure: k contiguous valid slots per row stride."""
+    layer = resnet50_conv_layers()[5]  # a 3x3 conv
+    phase = stride1_phase(layer.shape)
+    enc = Conv2dEncoder(phase, 4096)
+    idx = benchmark(enc.weight_valid_indices, 0)
+    wp = phase.padded_width
+    rows = sorted({int(i) // wp for i in idx})
+    k = phase.kernel_h
+    assert len(rows) == k * enc.channels_per_tile
+    for r in rows:
+        cols = sorted(int(i) % wp for i in idx if int(i) // wp == r)
+        assert cols == list(range(k))
+
+
+def test_fig7_encoding_benchmark(benchmark):
+    """Time the weight encoding of one representative ResNet-50 layer."""
+    layer = resnet50_conv_layers()[20]
+    phase = stride1_phase(layer.shape)
+    enc = Conv2dEncoder(phase, 4096)
+    rng = np.random.default_rng(0)
+    w = rng.integers(
+        -8, 8,
+        size=(2, phase.in_channels, phase.kernel_h, phase.kernel_w),
+    )
+    small = phase.__class__(
+        in_channels=phase.in_channels,
+        height=phase.height,
+        width=phase.width,
+        out_channels=2,
+        kernel_h=phase.kernel_h,
+        kernel_w=phase.kernel_w,
+    )
+    enc2 = Conv2dEncoder(small, 4096)
+    out = benchmark(enc2.encode_weights, w)
+    assert len(out) == enc2.num_tiles * 2

@@ -1,0 +1,59 @@
+"""Table II: hardware cost of modular vs complex-FP vs approximate-FXP
+multipliers.
+
+The cost models are anchored to the paper's synthesis numbers; this bench
+prints the full table, checks the paper's two qualitative claims (FP ~ 2x
+modular power; approximate shift-add beats the optimized modular
+multiplier) and times the twiddle-ROM construction that the approximate
+multiplier depends on.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.fftcore import TwiddleRom
+from repro.hw import (
+    approx_shift_add_multiplier,
+    complex_fp_multiplier,
+    modular_multiplier,
+    table2_rows,
+)
+
+
+def test_table2_report(benchmark):
+    rows = benchmark(table2_rows)
+    print()
+    print("=== Table II: multiplier hardware cost comparison ===")
+    print(
+        format_table(
+            ["multiplier", "bits", "tech", "area um^2", "paper",
+             "power mW", "paper "],
+            [
+                [label, bits, tech, cost.area_um2, paper_area,
+                 cost.power_mw, paper_power]
+                for label, bits, tech, cost, paper_area, paper_power in rows
+            ],
+        )
+    )
+    for label, _, _, cost, paper_area, paper_power in rows:
+        assert cost.area_um2 == pytest.approx(paper_area, rel=1e-6)
+        assert cost.power_mw == pytest.approx(paper_power, rel=1e-6)
+
+    fp = complex_fp_multiplier(39)
+    cham = modular_multiplier(39, "cham")
+    approx = approx_shift_add_multiplier(39, 5)
+    print(f"FP/modular power ratio: {fp.power_mw / cham.power_mw:.2f} "
+          "(paper: ~2x)")
+    print(f"approx k=5 saves {1 - approx.power_mw / cham.power_mw:.0%} power "
+          "vs the CHAM modular multiplier")
+    assert approx.power_mw < cham.power_mw
+    assert approx.area_um2 < cham.area_um2
+
+
+def test_table2_twiddle_rom_benchmark(benchmark):
+    """Build the k=5 twiddle ROM for the N/2=2048-point core."""
+    rom = benchmark(TwiddleRom, 2048, 5, 16)
+    stats = rom.stats()
+    print(f"\nROM stats: mean terms/part {stats.mean_terms_per_part:.2f}, "
+          f"rms error {stats.rms_error:.4f}, max mux {stats.max_mux_size}")
+    assert stats.mean_terms_per_part <= 5.0

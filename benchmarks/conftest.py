@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation section (see DESIGN.md's experiment index) and prints the
+reproduced rows/series next to the paper's numbers.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(scope="session")
+def resnet50_workloads():
+    from repro.hw import network_workload
+
+    return network_workload("resnet50", 4096)
+
+
+@pytest.fixture(scope="session")
+def resnet18_workloads():
+    from repro.hw import network_workload
+
+    return network_workload("resnet18", 4096)
+
+
+@pytest.fixture(scope="session")
+def trained_quantized_cnn():
+    """A trained W4A4 CNN on the synthetic dataset (network-level studies)."""
+    from repro.nn import (
+        QuantizedCnn,
+        make_mini_cnn,
+        make_synthetic_dataset,
+        train,
+        train_test_split,
+    )
+
+    ds = make_synthetic_dataset(1200, size=12, channels=1, seed=3)
+    tr, te = train_test_split(ds)
+    model = make_mini_cnn(seed=0)
+    train(model, tr, epochs=6, lr=0.08, seed=1)
+    qnet = QuantizedCnn.from_float(model, tr.images[:200], w_bits=4, a_bits=4)
+    return qnet, te
+
+
+@pytest.fixture(scope="session")
+def master_rng():
+    return np.random.default_rng(0xF1A54)

@@ -1,0 +1,12 @@
+"""Pytest root conftest: make ``src/`` importable without installation.
+
+The package is normally installed with ``pip install -e .``; this fallback
+keeps ``pytest`` working in pristine checkouts and network-less environments.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

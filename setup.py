@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network and no ``wheel`` package, so PEP
+517 editable installs fail; ``pip install -e . --no-build-isolation`` (or
+``python setup.py develop``) uses this shim instead.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "FLASH: approximate and sparse FFT acceleration for homomorphic "
+        "convolution (DATE 2025) - full Python reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

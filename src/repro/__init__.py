@@ -1,0 +1,26 @@
+"""FLASH reproduction: approximate and sparse FFT acceleration for HConv.
+
+Full Python reimplementation of the system described in *FLASH: An Efficient
+Hardware Accelerator Leveraging Approximate and Sparse FFT for Homomorphic
+Encryption* (DATE 2025): a BFV homomorphic-encryption substrate, Cheetah-style
+coefficient encoding for private CNN inference, the approximate fixed-point
+FFT with quantized twiddle factors, the sparse skipping/merging butterfly
+dataflow, the hardware cost/energy models, and the Bayesian-optimization
+design-space exploration.
+
+Subpackages
+-----------
+``repro.ntt``       exact negacyclic NTT and modular arithmetic (baseline)
+``repro.he``        BFV scheme (keygen / encrypt / decrypt / evaluate)
+``repro.fftcore``   reference, negacyclic, and fixed-point approximate FFTs
+``repro.sparse``    sparse butterfly dataflow (skipping + merging)
+``repro.encoding``  Cheetah coefficient encoding for conv and linear layers
+``repro.protocol``  hybrid HE/2PC secret-sharing protocol simulation
+``repro.nn``        quantized numpy CNNs and ResNet shape tables
+``repro.hw``        multiplier / butterfly / accelerator cost models
+``repro.dse``       design-space exploration (error model + Bayesian opt)
+``repro.core``      FLASH top-level API (HConv pipelines, accelerator facade)
+``repro.analysis``  latency profiles and report formatting
+"""
+
+__version__ = "1.0.0"

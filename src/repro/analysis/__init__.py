@@ -1,0 +1,30 @@
+"""Latency/memory profiling models and report formatting."""
+
+from repro.analysis.profiles import (
+    CpuCostModel,
+    LatencyProfile,
+    latency_profile,
+    ntt_domain_weight_storage_gb,
+    raw_weight_storage_gb,
+    residual_block_profile,
+)
+from repro.analysis.report import generate_report, print_report_summary
+from repro.analysis.reporting import (
+    format_bar_chart,
+    format_fractions,
+    format_table,
+)
+
+__all__ = [
+    "CpuCostModel",
+    "LatencyProfile",
+    "format_bar_chart",
+    "format_fractions",
+    "format_table",
+    "generate_report",
+    "print_report_summary",
+    "latency_profile",
+    "ntt_domain_weight_storage_gb",
+    "raw_weight_storage_gb",
+    "residual_block_profile",
+]

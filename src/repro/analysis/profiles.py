@@ -1,0 +1,164 @@
+"""Latency and memory profiles of the baseline protocol (Figure 1).
+
+Models the paper's motivating measurements: a ResNet-50 residual block
+under Cheetah is dominated by computation (not communication), the
+computation by NTTs, and the NTTs by *weight* transforms; pre-computing
+weights in the NTT domain would cost ~23 GB for 4-bit ResNet-50.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hw.workload import LayerWorkload, aggregate, network_workload
+from repro.ntt import find_ntt_primes, get_ntt
+
+
+@dataclass
+class CpuCostModel:
+    """Measured per-operation CPU costs of the exact NTT backend.
+
+    Args:
+        n: ring degree.
+        ntt_seconds: wall-clock of one forward/inverse negacyclic NTT.
+        pointwise_seconds: wall-clock of one length-n modular pointwise
+            multiply.
+    """
+
+    n: int
+    ntt_seconds: float
+    pointwise_seconds: float
+
+    @classmethod
+    def measure(cls, n: int = 4096, repeats: int = 5) -> "CpuCostModel":
+        """Time our own NTT backend on this machine."""
+        (q,) = find_ntt_primes(30, n)
+        ntt = get_ntt(n, q)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, q, size=n, dtype=np.uint64)
+        spec = ntt.forward(a)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            ntt.forward(a)
+        ntt_s = (time.perf_counter() - start) / repeats
+        from repro.ntt import mulmod
+
+        start = time.perf_counter()
+        for _ in range(repeats):
+            mulmod(spec, spec, q)
+        pw_s = (time.perf_counter() - start) / repeats
+        return cls(n=n, ntt_seconds=ntt_s, pointwise_seconds=pw_s)
+
+
+@dataclass
+class LatencyProfile:
+    """Figure 1 pie: seconds per protocol component."""
+
+    weight_ntt_s: float
+    activation_ntt_s: float
+    inverse_ntt_s: float
+    pointwise_s: float
+    communication_s: float
+
+    @property
+    def computation_s(self) -> float:
+        return (
+            self.weight_ntt_s
+            + self.activation_ntt_s
+            + self.inverse_ntt_s
+            + self.pointwise_s
+        )
+
+    @property
+    def total_s(self) -> float:
+        return self.computation_s + self.communication_s
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_s or 1.0
+        return {
+            "weight_ntt": self.weight_ntt_s / total,
+            "activation_ntt": self.activation_ntt_s / total,
+            "inverse_ntt": self.inverse_ntt_s / total,
+            "pointwise": self.pointwise_s / total,
+            "communication": self.communication_s / total,
+        }
+
+
+def latency_profile(
+    workloads: List[LayerWorkload],
+    cost: Optional[CpuCostModel] = None,
+    rns_primes: int = 2,
+    bandwidth_gbps: float = 1.0,
+) -> LatencyProfile:
+    """Model the CPU latency of the given HConv workloads under Cheetah.
+
+    Each ciphertext operation touches ``rns_primes`` RNS components; the
+    communication term prices one ciphertext per input/output transform at
+    ``2 * n * 8 * rns_primes`` bytes over ``bandwidth_gbps``.
+    """
+    cost = cost or CpuCostModel.measure()
+    total = aggregate(list(workloads))
+    per_ntt = cost.ntt_seconds * rns_primes
+    # Ciphertexts have two components: activation/inverse transforms and
+    # pointwise products run twice per polynomial product.
+    weight = total.weight_transforms * per_ntt
+    activation = total.input_transforms * 2 * per_ntt
+    inverse = total.inverse_transforms * 2 * per_ntt
+    pointwise = (
+        total.pointwise_products * 2 * cost.pointwise_seconds * rns_primes
+    )
+    ct_bytes = 2 * cost.n * 8 * rns_primes
+    messages = total.input_transforms + total.inverse_transforms
+    comm = messages * ct_bytes * 8 / (bandwidth_gbps * 1e9)
+    return LatencyProfile(
+        weight_ntt_s=weight,
+        activation_ntt_s=activation,
+        inverse_ntt_s=inverse,
+        pointwise_s=pointwise,
+        communication_s=comm,
+    )
+
+
+def residual_block_profile(
+    network: str = "resnet50",
+    n: int = 4096,
+    cost: Optional[CpuCostModel] = None,
+) -> LatencyProfile:
+    """Figure 1's workload: one residual block of ResNet-50."""
+    from repro.hw.workload import conv_layer_workload
+    from repro.nn.resnet import residual_block_layers
+
+    workloads = [
+        conv_layer_workload(layer.shape, n, name=layer.name)
+        for layer in residual_block_layers(network)
+    ]
+    return latency_profile(workloads, cost=cost)
+
+
+def ntt_domain_weight_storage_gb(
+    network: str = "resnet50", n: int = 4096, q_bytes: int = 8
+) -> float:
+    """Memory to pre-store all weight polynomials in the NTT domain.
+
+    The paper: "23 GB to store the entire weights in the NTT domain for a
+    4-bit ResNet-50, more than 1000x higher memory consumption".  Each of
+    the network's weight transforms is an n-coefficient polynomial of
+    q-sized words.
+    """
+    total = aggregate(network_workload(network, n))
+    return total.weight_transforms * n * q_bytes / 1e9
+
+
+def raw_weight_storage_gb(network: str = "resnet50", bits: int = 4) -> float:
+    """Plain quantized weight storage, for the >1000x comparison."""
+    from repro.nn.resnet import conv_layers
+
+    params = 0
+    for layer in conv_layers(network):
+        s = layer.shape
+        params += s.out_channels * s.in_channels * s.kernel_h * s.kernel_w
+    return params * bits / 8 / 1e9

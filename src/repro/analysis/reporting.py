@@ -1,0 +1,61 @@
+"""Plain-text table / chart rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned monospace table (benchmarks print these)."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bars (for the figure-style benchmark outputs)."""
+    values = [float(v) for v in values]
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_w = max((len(lbl) for lbl in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value else ""
+        lines.append(f"{label.ljust(label_w)}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def format_fractions(fractions: dict, width: int = 40) -> str:
+    """Render a breakdown dict (name -> fraction) as percentage bars."""
+    return format_bar_chart(
+        list(fractions.keys()),
+        [100.0 * v for v in fractions.values()],
+        width=width,
+        unit="%",
+    )

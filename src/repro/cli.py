@@ -1,0 +1,277 @@
+"""Command-line interface: regenerate the paper's tables from a shell.
+
+Usage::
+
+    python -m repro tables                # Tables II, III, IV
+    python -m repro sparsity --network resnet50
+    python -m repro ablation --network resnet18
+    python -m repro dse --layer 41 --budget 60
+    python -m repro profile               # Figure 1
+    python -m repro demo                  # one private convolution
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.hw import (
+        ChamModel,
+        FlashAccelerator,
+        efficiency_ratios,
+        network_workload,
+        table2_rows,
+        table3_rows,
+    )
+
+    print("=== Table II: multiplier hardware cost ===")
+    print(
+        format_table(
+            ["multiplier", "bits", "tech", "area um^2", "power mW"],
+            [
+                [label, bits, tech, f"{cost.area_um2:.0f}", f"{cost.power_mw:.2f}"]
+                for label, bits, tech, cost, _, _ in table2_rows()
+            ],
+        )
+    )
+    wl50 = network_workload("resnet50", 4096)
+    wl18 = network_workload("resnet18", 4096)
+    print("\n=== Table III: efficiency (ResNet-50 HConv workload) ===")
+    rows = table3_rows(workloads=wl50)
+    print(
+        format_table(
+            ["accelerator", "thr MOPS", "area mm^2", "power W", "MOPS/W"],
+            [
+                [r["name"], f"{r['norm_throughput_mops']:.2f}",
+                 f"{r['area_mm2']:.2f}" if r["area_mm2"] else "-",
+                 f"{r['power_w']:.2f}" if r["power_w"] else "-",
+                 f"{r['power_eff']:.2f}" if r["power_eff"] else "-"]
+                for r in rows
+            ],
+        )
+    )
+    for name, ratio in efficiency_ratios(rows).items():
+        print(f"  {name}: {ratio['power_eff_min']:.1f}-"
+              f"{ratio['power_eff_max']:.1f}x power eff vs ASIC baselines")
+    print("\n=== Table IV: linear-layer latency ===")
+    acc, cham = FlashAccelerator(), ChamModel()
+    print(
+        format_table(
+            ["network", "CHAM ms", "FLASH ms", "speedup"],
+            [
+                [name,
+                 f"{cham.network_latency_s(wl) * 1e3:.1f}",
+                 f"{acc.network_latency_s(wl) * 1e3:.2f}",
+                 f"{cham.network_latency_s(wl) / acc.network_latency_s(wl):.1f}x"]
+                for name, wl in (("resnet18", wl18), ("resnet50", wl50))
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_sparsity(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.dse import stride1_phase
+    from repro.encoding import Conv2dEncoder
+    from repro.hw import spatial_tiles
+    from repro.nn import conv_layers
+    from repro.sparse import classify_pattern, conv_weight_pattern, sparse_fft_mults
+
+    rows = []
+    n = args.n
+    for layer in conv_layers(args.network):
+        phase = stride1_phase(layer.shape)
+        if phase.padded_height * phase.padded_width > n:
+            phase, _ = spatial_tiles(phase, n)
+        enc = Conv2dEncoder(phase, n)
+        pattern = conv_weight_pattern(enc)
+        sparse = sparse_fft_mults(pattern, n // 2)
+        dense = (n // 4) * ((n // 2).bit_length() - 1)
+        stats = classify_pattern(enc.weight_valid_indices(0), n)
+        rows.append(
+            [layer.index, layer.name, f"{enc.weight_sparsity(0):.4f}",
+             stats.kind, f"{1 - sparse / dense:.1%}"]
+        )
+    print(
+        format_table(
+            ["#", "layer", "sparsity", "pattern", "mults saved"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.hw import (
+        WEIGHT_ARMS,
+        ablation_table,
+        flash_vs_f1_reduction,
+        network_workload,
+    )
+
+    workloads = network_workload(args.network, args.n)
+    table = ablation_table(workloads)
+    print(
+        format_table(
+            ["arm", "weight mJ", "total mJ", "weight vs FP-FFT"],
+            [
+                [arm, f"{table[arm]['weight']:.2f}",
+                 f"{table[arm]['total']:.2f}",
+                 f"{table[arm]['weight_vs_fft_fp']:.1%}"]
+                for arm in WEIGHT_ARMS
+            ],
+        )
+    )
+    print(f"energy reduction vs F1: {flash_vs_f1_reduction(workloads):.1%}")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.dse import explore_layer, stride1_phase
+    from repro.hw import spatial_tiles
+    from repro.nn import get_layer
+
+    layer = get_layer(args.network, args.layer)
+    phase = stride1_phase(layer.shape)
+    if phase.padded_height * phase.padded_width > args.n:
+        phase, _ = spatial_tiles(phase, args.n)
+    print(f"exploring layer {args.layer} ({layer.name}) "
+          f"with budget {args.budget}...")
+    result = explore_layer(
+        phase, n=args.n, budget=args.budget, seed=args.seed
+    )
+    points, front = result.front()
+    print(
+        format_table(
+            ["power mW", "error var", "dw range", "k"],
+            [
+                [f"{p:.3f}", f"{e:.3e}",
+                 f"{min(pt.stage_widths)}..{max(pt.stage_widths)}",
+                 pt.twiddle_k]
+                for pt, (p, e) in zip(points, front)
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        CpuCostModel,
+        format_fractions,
+        ntt_domain_weight_storage_gb,
+        residual_block_profile,
+    )
+
+    cost = CpuCostModel.measure(n=args.n)
+    profile = residual_block_profile(args.network, n=args.n, cost=cost)
+    print(f"one {args.network} residual block, modeled on this machine: "
+          f"{profile.total_s:.1f} s")
+    print(format_fractions(profile.fractions()))
+    print(f"NTT-domain weight storage for {args.network}: "
+          f"{ntt_domain_weight_storage_gb(args.network, args.n):.1f} GB")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import generate_report, print_report_summary
+
+    text = generate_report(path=args.out, n=args.n)
+    if args.out:
+        print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+    print(print_report_summary(text))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core import Flash, FlashConfig
+    from repro.encoding import ConvShape
+    from repro.he import toy_preset
+
+    rng = np.random.default_rng(args.seed)
+    flash = Flash(
+        FlashConfig(
+            params=toy_preset(n=256, share_bits=20),
+            twiddle_k=18,
+            twiddle_max_shift=26,
+        )
+    )
+    shape = ConvShape.square(2, 8, 4, 3, padding=1)
+    x = rng.integers(-8, 8, size=(2, 8, 8))
+    w = rng.integers(-8, 8, size=(4, 2, 3, 3))
+    result = flash.private_conv2d(x, w, shape, rng)
+    print(flash.describe())
+    print(f"private conv: max error {result.max_error} "
+          f"(outputs up to {abs(result.expected).max()}), "
+          f"{result.stats.total_bytes / 1024:.1f} KiB of traffic")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FLASH reproduction: tables, sparsity, DSE, demos.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables II, III and IV")
+
+    p = sub.add_parser("sparsity", help="per-layer weight sparsity (Fig 7)")
+    p.add_argument("--network", default="resnet50",
+                   choices=["resnet18", "resnet50"])
+    p.add_argument("--n", type=int, default=4096)
+
+    p = sub.add_parser("ablation", help="energy ablation (Fig 11 d/e)")
+    p.add_argument("--network", default="resnet50",
+                   choices=["resnet18", "resnet50"])
+    p.add_argument("--n", type=int, default=4096)
+
+    p = sub.add_parser("dse", help="layer design-space exploration (Fig 11 b/c)")
+    p.add_argument("--network", default="resnet50",
+                   choices=["resnet18", "resnet50"])
+    p.add_argument("--layer", type=int, default=41)
+    p.add_argument("--budget", type=int, default=60)
+    p.add_argument("--n", type=int, default=4096)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("profile", help="Cheetah latency profile (Fig 1)")
+    p.add_argument("--network", default="resnet50",
+                   choices=["resnet18", "resnet50"])
+    p.add_argument("--n", type=int, default=4096)
+
+    p = sub.add_parser("report", help="write a full REPORT.md")
+    p.add_argument("--out", default="REPORT.md")
+    p.add_argument("--n", type=int, default=4096)
+
+    p = sub.add_parser("demo", help="run one private convolution")
+    p.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "sparsity": _cmd_sparsity,
+    "ablation": _cmd_ablation,
+    "dse": _cmd_dse,
+    "profile": _cmd_profile,
+    "demo": _cmd_demo,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

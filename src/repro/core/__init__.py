@@ -1,0 +1,22 @@
+"""FLASH top-level API: configuration, HConv pipelines, system facade."""
+
+from repro.core.config import FlashConfig
+from repro.core.flash import Flash, LayerEstimate
+from repro.core.hconv import (
+    fft_polymul_factory,
+    hconv_fft,
+    hconv_flash,
+    hconv_ntt,
+    ntt_polymul_factory,
+)
+
+__all__ = [
+    "Flash",
+    "FlashConfig",
+    "LayerEstimate",
+    "fft_polymul_factory",
+    "hconv_fft",
+    "hconv_flash",
+    "hconv_ntt",
+    "ntt_polymul_factory",
+]

@@ -1,0 +1,156 @@
+"""The FLASH facade: one object tying protocol, datapath and cost models.
+
+This is the library's primary entry point::
+
+    from repro.core import Flash
+
+    flash = Flash()                         # paper-default configuration
+    result = flash.private_conv2d(x, w, shape, rng)   # encrypted HConv
+    estimate = flash.estimate_layer(shape)  # energy / latency / sparsity
+    dse = flash.explore(shape, budget=100)  # per-layer Pareto search
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import FlashConfig
+from repro.dse.explore import LayerDseResult, explore_layer
+from repro.encoding.conv_encoding import ConvShape
+from repro.encoding.linear_encoding import LinearShape
+from repro.hw.accelerator import ChamModel, FlashAccelerator
+from repro.hw.energy import hconv_energy_pj
+from repro.hw.workload import (
+    LayerWorkload,
+    conv_layer_workload,
+    linear_layer_workload,
+)
+from repro.protocol.hybrid import (
+    HybridConvProtocol,
+    HybridLinearProtocol,
+    ProtocolResult,
+    make_session,
+)
+
+
+@dataclass
+class LayerEstimate:
+    """Cost estimate of one layer on FLASH vs the NTT baseline."""
+
+    workload: LayerWorkload
+    flash_latency_s: float
+    cham_latency_s: float
+    flash_energy_pj: Dict[str, float]
+
+    @property
+    def speedup(self) -> float:
+        if self.flash_latency_s == 0:
+            return float("inf")
+        return self.cham_latency_s / self.flash_latency_s
+
+    @property
+    def sparsity_saving(self) -> float:
+        return self.workload.weight_sparsity_saving
+
+
+class Flash:
+    """High-level FLASH system object.
+
+    Args:
+        config: a :class:`FlashConfig`; the paper's default build
+            (N=4096, 27-bit datapath, k=5 twiddles, 60x4 approximate BUs)
+            when omitted.
+    """
+
+    def __init__(self, config: Optional[FlashConfig] = None):
+        self.config = config or FlashConfig()
+        self.accelerator = FlashAccelerator(self.config.design)
+        self._cham = ChamModel(n=self.config.n)
+        self._session = None
+
+    # ------------------------------------------------------------------
+    # Private inference (actual cryptography)
+    # ------------------------------------------------------------------
+
+    def session(self, rng: np.random.Generator):
+        """Lazily created key material, shared across layer evaluations."""
+        if self._session is None:
+            self._session = make_session(self.config.params, rng)
+        return self._session
+
+    def private_conv2d(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        shape: ConvShape,
+        rng: np.random.Generator,
+        exact: bool = False,
+    ) -> ProtocolResult:
+        """Run one private convolution through the hybrid protocol.
+
+        Args:
+            x: clear activation (secret-shared internally).
+            w: server weights.
+            shape: convolution geometry.
+            rng: randomness.
+            exact: use the exact NTT backend instead of the approximate
+                FFT (the baseline accelerators' computation).
+        """
+        backend = (
+            self.config.exact_backend() if exact else self.config.flash_backend()
+        )
+        protocol = HybridConvProtocol(self.config.params, shape, backend)
+        return protocol.run(x, w, rng, session=self.session(rng))
+
+    def private_linear(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        rng: np.random.Generator,
+        exact: bool = False,
+    ) -> ProtocolResult:
+        """Run one private fully-connected layer."""
+        shape = LinearShape(in_features=w.shape[1], out_features=w.shape[0])
+        backend = (
+            self.config.exact_backend() if exact else self.config.flash_backend()
+        )
+        protocol = HybridLinearProtocol(self.config.params, shape, backend)
+        return protocol.run(x, w, rng, session=self.session(rng))
+
+    # ------------------------------------------------------------------
+    # Modeling
+    # ------------------------------------------------------------------
+
+    def estimate_layer(self, shape) -> LayerEstimate:
+        """Workload + latency + energy estimate for one layer shape."""
+        if isinstance(shape, ConvShape):
+            workload = conv_layer_workload(shape, self.config.n)
+        elif isinstance(shape, LinearShape):
+            workload = linear_layer_workload(shape, self.config.n)
+        else:
+            raise TypeError(f"unsupported shape type {type(shape).__name__}")
+        return LayerEstimate(
+            workload=workload,
+            flash_latency_s=self.accelerator.layer_latency_s(workload),
+            cham_latency_s=self._cham.layer_latency_s(workload),
+            flash_energy_pj=hconv_energy_pj(
+                workload,
+                "flash",
+                dw=self.config.data_width,
+                k=self.config.twiddle_k,
+            ),
+        )
+
+    def explore(
+        self, shape: ConvShape, budget: int = 60, seed: int = 0
+    ) -> LayerDseResult:
+        """Per-layer accuracy/power design-space exploration (Figure 10)."""
+        return explore_layer(
+            shape, n=self.config.n, budget=budget, seed=seed
+        )
+
+    def describe(self) -> str:
+        return self.config.describe()

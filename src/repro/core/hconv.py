@@ -1,0 +1,90 @@
+"""Homomorphic convolution pipelines (Figure 4): NTT-exact vs approximate FFT.
+
+Clear-domain entry points that run the full coefficient-encoding path with
+a chosen polynomial-multiplication engine -- the quickest way to compare
+the three computation styles on a real convolution without paying for
+encryption (the encrypted path lives in :mod:`repro.protocol`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.encoding.conv_encoding import ConvShape
+from repro.encoding.plain_eval import conv2d_via_polynomials
+from repro.fftcore.approx_pipeline import ApproxNegacyclic
+from repro.fftcore.fixed_point import ApproxFftConfig
+from repro.ntt import find_ntt_primes, get_ntt
+from repro.ntt.modmath import centered, from_centered
+
+
+def ntt_polymul_factory(n: int, value_bound: int) -> Callable:
+    """Exact negacyclic multiplier via NTT over a large-enough prime.
+
+    Args:
+        n: polynomial degree.
+        value_bound: bound on ``|result|`` coefficients, used to size the
+            working modulus so no wrap-around occurs.
+    """
+    bits = max(20, min(39, (2 * value_bound + 1).bit_length() + 1))
+    if (2 * value_bound + 1) >> 38:
+        raise ValueError("results exceed the single-prime NTT range")
+    (q,) = find_ntt_primes(bits, n)
+    ntt = get_ntt(n, q)
+
+    def polymul(a, w):
+        ua = from_centered(np.asarray(a, dtype=np.int64), q)
+        uw = from_centered(np.asarray(w, dtype=np.int64), q)
+        out = ntt.multiply(ua, uw)
+        return centered(out, q)
+
+    return polymul
+
+
+def fft_polymul_factory(
+    n: int, config: Optional[ApproxFftConfig] = None
+) -> Callable:
+    """Negacyclic multiplier via the (optionally approximate) folded FFT."""
+    pipeline = ApproxNegacyclic(n, config)
+
+    def polymul(a, w):
+        out = pipeline.multiply(np.asarray(w), np.asarray(a))
+        return np.array([int(v) for v in out], dtype=np.int64)
+
+    return polymul
+
+
+def hconv_ntt(x, w, shape: ConvShape, n: int) -> np.ndarray:
+    """Convolution through coefficient encoding with exact NTT products."""
+    x = np.asarray(x, dtype=np.int64)
+    w = np.asarray(w, dtype=np.int64)
+    bound = int(np.abs(w).sum() * max(1, int(np.abs(x).max())))
+    return conv2d_via_polynomials(
+        x, w, shape, n, polymul=ntt_polymul_factory(n, bound)
+    )
+
+
+def hconv_fft(x, w, shape: ConvShape, n: int) -> np.ndarray:
+    """Convolution via the float64 folded FFT (the "FFT (FP)" arm)."""
+    return conv2d_via_polynomials(
+        np.asarray(x, dtype=np.int64),
+        np.asarray(w, dtype=np.int64),
+        shape,
+        n,
+        polymul=fft_polymul_factory(n),
+    )
+
+
+def hconv_flash(
+    x, w, shape: ConvShape, n: int, config: ApproxFftConfig
+) -> np.ndarray:
+    """Convolution via FLASH's approximate fixed-point weight transforms."""
+    return conv2d_via_polynomials(
+        np.asarray(x, dtype=np.int64),
+        np.asarray(w, dtype=np.int64),
+        shape,
+        n,
+        polymul=fft_polymul_factory(n, config),
+    )

@@ -1,0 +1,60 @@
+"""Design-space exploration: error model, Bayesian optimization, Pareto."""
+
+from repro.dse.bayesopt import (
+    DseRun,
+    GaussianProcess,
+    bayesian_optimize,
+    expected_improvement,
+    random_search,
+)
+from repro.dse.error_model import (
+    hconv_error_variance,
+    monte_carlo_hconv_error,
+    monte_carlo_spectrum_error,
+    spectrum_error_variance,
+    stage_twiddle_errors,
+    twiddle_relative_error,
+)
+from repro.dse.budget import (
+    LayerPlan,
+    NetworkPlan,
+    explore_network,
+    requant_error_budget,
+    uniform_fallback_plan,
+)
+from repro.dse.explore import (
+    LayerDseProblem,
+    LayerDseResult,
+    explore_layer,
+    stride1_phase,
+)
+from repro.dse.pareto import hypervolume_2d, pareto_front, pareto_mask
+from repro.dse.space import DesignPoint, DesignSpace
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "DseRun",
+    "GaussianProcess",
+    "LayerDseProblem",
+    "LayerPlan",
+    "NetworkPlan",
+    "LayerDseResult",
+    "bayesian_optimize",
+    "expected_improvement",
+    "explore_layer",
+    "explore_network",
+    "hconv_error_variance",
+    "hypervolume_2d",
+    "monte_carlo_hconv_error",
+    "monte_carlo_spectrum_error",
+    "pareto_front",
+    "pareto_mask",
+    "random_search",
+    "requant_error_budget",
+    "spectrum_error_variance",
+    "stride1_phase",
+    "uniform_fallback_plan",
+    "stage_twiddle_errors",
+    "twiddle_relative_error",
+]

@@ -1,0 +1,62 @@
+"""Pareto-front utilities for the two-objective (power, error) DSE."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def pareto_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows (minimization, any #objectives).
+
+    A row dominates another if it is <= everywhere and < somewhere.
+    """
+    obj = np.asarray(objectives, dtype=np.float64)
+    if obj.ndim != 2:
+        raise ValueError("objectives must be a 2D array (points x objectives)")
+    count = obj.shape[0]
+    mask = np.ones(count, dtype=bool)
+    for i in range(count):
+        if not mask[i]:
+            continue
+        dominates_i = np.all(obj <= obj[i], axis=1) & np.any(obj < obj[i], axis=1)
+        if np.any(dominates_i & mask):
+            mask[i] = False
+    return mask
+
+
+def pareto_front(
+    points: Sequence, objectives: np.ndarray
+) -> Tuple[List, np.ndarray]:
+    """Non-dominated subset of ``points``, sorted by the first objective."""
+    obj = np.asarray(objectives, dtype=np.float64)
+    if len(points) != obj.shape[0]:
+        raise ValueError("points and objectives must align")
+    mask = pareto_mask(obj)
+    idx = np.nonzero(mask)[0]
+    order = idx[np.argsort(obj[idx, 0])]
+    return [points[i] for i in order], obj[order]
+
+
+def hypervolume_2d(objectives: np.ndarray, reference: Tuple[float, float]) -> float:
+    """Dominated hypervolume of a 2D minimization front w.r.t. ``reference``.
+
+    Standard staircase integration; points beyond the reference point are
+    clipped out.
+    """
+    obj = np.asarray(objectives, dtype=np.float64)
+    if obj.ndim != 2 or obj.shape[1] != 2:
+        raise ValueError("hypervolume_2d needs (points x 2) objectives")
+    mask = pareto_mask(obj)
+    front = obj[mask]
+    front = front[(front[:, 0] < reference[0]) & (front[:, 1] < reference[1])]
+    if front.size == 0:
+        return 0.0
+    front = front[np.argsort(front[:, 0])]
+    volume = 0.0
+    prev_y = reference[1]
+    for x, y in front:
+        volume += (reference[0] - x) * (prev_y - y)
+        prev_y = y
+    return float(volume)

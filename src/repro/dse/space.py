@@ -1,0 +1,118 @@
+"""The approximate-FFT design space (Section IV-C2).
+
+A design point fixes the data bit-width of every FFT stage plus the
+twiddle quantization level ``k`` -- the variables of the paper's
+``min power s.t. error < T_err`` formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.fftcore.fixed_point import ApproxFftConfig
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate configuration: per-stage widths + twiddle level."""
+
+    stage_widths: Tuple[int, ...]
+    twiddle_k: int
+
+    def to_config(self, n: int) -> ApproxFftConfig:
+        if len(self.stage_widths) != n.bit_length() - 1:
+            raise ValueError(
+                f"point has {len(self.stage_widths)} stages; n={n} needs "
+                f"{n.bit_length() - 1}"
+            )
+        return ApproxFftConfig(
+            n=n, stage_widths=list(self.stage_widths), twiddle_k=self.twiddle_k
+        )
+
+
+class DesignSpace:
+    """Sampling and encoding of design points.
+
+    Args:
+        stages: number of FFT stages (``log2(n_core)``).
+        width_range: inclusive bounds of per-stage data widths.
+        k_range: inclusive bounds of the twiddle quantization level.
+    """
+
+    def __init__(
+        self,
+        stages: int,
+        width_range: Tuple[int, int] = (8, 39),
+        k_range: Tuple[int, int] = (2, 18),
+    ):
+        if stages < 1:
+            raise ValueError("need at least one stage")
+        if width_range[0] > width_range[1] or k_range[0] > k_range[1]:
+            raise ValueError("invalid ranges")
+        if width_range[0] < 2:
+            raise ValueError("widths below 2 bits are not representable")
+        self.stages = stages
+        self.width_range = width_range
+        self.k_range = k_range
+
+    @property
+    def dimensions(self) -> int:
+        return self.stages + 1
+
+    def sample(self, rng: np.random.Generator) -> DesignPoint:
+        widths = tuple(
+            int(w)
+            for w in rng.integers(
+                self.width_range[0], self.width_range[1] + 1, size=self.stages
+            )
+        )
+        k = int(rng.integers(self.k_range[0], self.k_range[1] + 1))
+        return DesignPoint(stage_widths=widths, twiddle_k=k)
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> List[DesignPoint]:
+        return [self.sample(rng) for _ in range(count)]
+
+    def neighbors(
+        self, point: DesignPoint, rng: np.random.Generator, count: int = 4
+    ) -> List[DesignPoint]:
+        """Local perturbations: +-1..3 on a few stages / the twiddle level."""
+        out = []
+        for _ in range(count):
+            widths = list(point.stage_widths)
+            for idx in rng.choice(self.stages, size=min(2, self.stages), replace=False):
+                widths[idx] = int(
+                    np.clip(
+                        widths[idx] + rng.integers(-3, 4),
+                        self.width_range[0],
+                        self.width_range[1],
+                    )
+                )
+            k = int(
+                np.clip(
+                    point.twiddle_k + rng.integers(-2, 3),
+                    self.k_range[0],
+                    self.k_range[1],
+                )
+            )
+            out.append(DesignPoint(tuple(widths), k))
+        return out
+
+    def encode(self, point: DesignPoint) -> np.ndarray:
+        """Normalize a point into [0, 1]^dims for the surrogate model."""
+        lo, hi = self.width_range
+        w = (np.array(point.stage_widths, dtype=np.float64) - lo) / max(hi - lo, 1)
+        klo, khi = self.k_range
+        k = (point.twiddle_k - klo) / max(khi - klo, 1)
+        return np.concatenate([w, [k]])
+
+    def clip(self, point: DesignPoint) -> DesignPoint:
+        lo, hi = self.width_range
+        widths = tuple(int(np.clip(w, lo, hi)) for w in point.stage_widths)
+        k = int(np.clip(point.twiddle_k, *self.k_range))
+        return DesignPoint(widths, k)
+
+    def uniform_point(self, width: int, k: int) -> DesignPoint:
+        return self.clip(DesignPoint((width,) * self.stages, k))

@@ -1,0 +1,143 @@
+"""Cheetah-style coefficient encoding for fully-connected (matvec) layers.
+
+A matrix-vector product ``y = W @ x`` (``W`` is ``no x ni``) is computed by
+one polynomial product per (input-chunk, row-group): the input chunk is
+placed at coefficients ``0..ni-1`` and each weight row is placed reversed
+inside its own ``ni``-sized block, so the dot product of row ``r`` lands on
+coefficient ``r*ni + ni - 1`` of the product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearShape:
+    """Shape of one fully-connected layer (``y = W @ x``)."""
+
+    in_features: int
+    out_features: int
+
+    def __post_init__(self):
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError(f"invalid shape {self}")
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+
+class LinearEncoder:
+    """Encoder/decoder for one FC layer over degree-n polynomials.
+
+    Args:
+        shape: layer dimensions.
+        n: polynomial degree; input vectors longer than ``n`` are chunked
+            and the partial products accumulated.
+    """
+
+    def __init__(self, shape: LinearShape, n: int):
+        self.shape = shape
+        self.n = n
+        self.chunk = min(shape.in_features, n)
+        self.num_chunks = -(-shape.in_features // self.chunk)
+        self.rows_per_poly = max(1, n // self.chunk)
+        self.num_row_groups = -(-shape.out_features // self.rows_per_poly)
+
+    def _chunk_range(self, chunk: int) -> range:
+        start = chunk * self.chunk
+        return range(start, min(self.shape.in_features, start + self.chunk))
+
+    def _row_range(self, group: int) -> range:
+        start = group * self.rows_per_poly
+        return range(start, min(self.shape.out_features, start + self.rows_per_poly))
+
+    def encode_input(self, x: np.ndarray) -> List[np.ndarray]:
+        """Split ``x`` into per-chunk polynomials at coefficients 0..chunk-1."""
+        x = np.asarray(x)
+        if x.shape != (self.shape.in_features,):
+            raise ValueError(f"expected {self.shape.in_features} features")
+        polys = []
+        for c in range(self.num_chunks):
+            poly = np.zeros(self.n, dtype=np.int64)
+            rng = self._chunk_range(c)
+            poly[: len(rng)] = x[rng.start : rng.stop]
+            polys.append(poly)
+        return polys
+
+    def encode_weights(self, w: np.ndarray) -> Dict[Tuple[int, int], np.ndarray]:
+        """Weight polynomials keyed by ``(chunk, row_group)``.
+
+        Row ``r`` (local index ``r_l``) of chunk ``c`` occupies coefficients
+        ``r_l*chunk + (chunk-1-j)`` for ``j`` in the chunk -- dense within
+        each block, unlike conv weights (FC layers offer no encoding
+        sparsity; Section III-B is about convolutions).
+        """
+        w = np.asarray(w)
+        if w.shape != (self.shape.out_features, self.shape.in_features):
+            raise ValueError(
+                f"expected {(self.shape.out_features, self.shape.in_features)},"
+                f" got {w.shape}"
+            )
+        out: Dict[Tuple[int, int], np.ndarray] = {}
+        for c in range(self.num_chunks):
+            cr = self._chunk_range(c)
+            width = len(cr)
+            for g in range(self.num_row_groups):
+                poly = np.zeros(self.n, dtype=np.int64)
+                for local, r in enumerate(self._row_range(g)):
+                    base = local * self.chunk
+                    for j_local, j in enumerate(cr):
+                        poly[base + width - 1 - j_local] = w[r, j]
+                out[(c, g)] = poly
+        return out
+
+    def output_indices(self, chunk: int, group: int) -> np.ndarray:
+        """Product coefficients holding the dot products of ``group``'s rows."""
+        width = len(self._chunk_range(chunk))
+        rows = self._row_range(group)
+        return np.array(
+            [local * self.chunk + width - 1 for local in range(len(rows))],
+            dtype=np.int64,
+        )
+
+    def decode_output(
+        self, products: Dict[Tuple[int, int], np.ndarray]
+    ) -> np.ndarray:
+        """Sum partial dot products across chunks into the output vector."""
+        y = np.zeros(self.shape.out_features, dtype=np.int64)
+        for c in range(self.num_chunks):
+            for g in range(self.num_row_groups):
+                prod = np.asarray(products[(c, g)])
+                idx = self.output_indices(c, g)
+                rows = self._row_range(g)
+                y[rows.start : rows.stop] += prod[idx]
+        return y
+
+    def transforms_per_matvec(self) -> Dict[str, int]:
+        """Forward/inverse transform counts (mirrors Conv2dEncoder)."""
+        return {
+            "input_forward": self.num_chunks,
+            "weight_forward": self.num_chunks * self.num_row_groups,
+            "inverse": self.num_chunks * self.num_row_groups,
+        }
+
+
+def matvec_via_polynomials(x, w, n: int, polymul=None) -> np.ndarray:
+    """Compute ``W @ x`` through the coefficient encoding (test helper)."""
+    from repro.encoding.plain_eval import _default_polymul
+
+    polymul = polymul or _default_polymul
+    w = np.asarray(w)
+    shape = LinearShape(in_features=w.shape[1], out_features=w.shape[0])
+    enc = LinearEncoder(shape, n)
+    in_polys = enc.encode_input(np.asarray(x))
+    products = {
+        key: polymul(in_polys[key[0]], poly)
+        for key, poly in enc.encode_weights(w).items()
+    }
+    return enc.decode_output(products)

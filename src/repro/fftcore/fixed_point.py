@@ -1,0 +1,197 @@
+"""Fixed-point approximate FFT simulator (Section IV-C).
+
+Bit-true model of the FLASH approximate butterfly units: data flowing
+through the FFT is fixed-point with a *per-stage* bit-width ``dw_i`` (the
+design-space variable of the DSE), and twiddle factors are quantized to
+``k`` signed power-of-two terms (:mod:`repro.fftcore.twiddle_quant`).
+
+Scaling follows the standard hardware convention of halving butterfly
+outputs every stage, so values stay in ``[-1, 1)`` and the quantization
+grid is simply ``2**-(dw-1)``; the known total scale ``2**-stages`` is
+compensated when spectra are consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fftcore.reference import stage_twiddles
+from repro.fftcore.twiddle_quant import TwiddleRom
+from repro.ntt.modmath import bit_reverse_indices
+
+
+@dataclass(frozen=True)
+class FxpFormat:
+    """Signed fixed-point format: 1 sign bit, rest fraction (range [-1, 1))."""
+
+    total_bits: int
+
+    def __post_init__(self):
+        if self.total_bits < 2:
+            raise ValueError("fixed-point format needs at least 2 bits")
+
+    @property
+    def frac_bits(self) -> int:
+        return self.total_bits - 1
+
+    @property
+    def ulp(self) -> float:
+        return 2.0 ** -self.frac_bits
+
+    @property
+    def max_value(self) -> float:
+        return 1.0 - self.ulp
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-to-nearest onto the grid, saturating at the format range."""
+        scaled = np.rint(np.asarray(x, dtype=np.float64) / self.ulp)
+        limit = 2.0**self.frac_bits
+        scaled = np.clip(scaled, -limit, limit - 1)
+        return scaled * self.ulp
+
+    def quantize_complex(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.complex128)
+        return self.quantize(x.real) + 1j * self.quantize(x.imag)
+
+
+@dataclass
+class ApproxFftConfig:
+    """Configuration of one approximate FFT core.
+
+    Args:
+        n: core transform length (power of two).  For the folded negacyclic
+            pipeline this is N/2 where N is the polynomial degree.
+        stage_widths: data bit-width after each of the ``log2(n)`` stages.
+            A single int is broadcast to all stages.
+        twiddle_k: quantization level of the twiddle factors (signed
+            power-of-two terms per real/imaginary part); 0 disables twiddle
+            quantization (exact FP twiddles).
+        twiddle_max_shift: fraction-bit budget of the twiddle ROM.
+        input_width: bit-width of the (normalized) input samples.
+    """
+
+    n: int
+    stage_widths: Sequence[int] = 27
+    twiddle_k: int = 0
+    twiddle_max_shift: int = 16
+    input_width: Optional[int] = None
+    _stages: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self):
+        if self.n < 2 or self.n & (self.n - 1):
+            raise ValueError(f"n must be a power of two >= 2, got {self.n}")
+        self._stages = self.n.bit_length() - 1
+        if isinstance(self.stage_widths, (int, np.integer)):
+            self.stage_widths = [int(self.stage_widths)] * self._stages
+        else:
+            self.stage_widths = [int(w) for w in self.stage_widths]
+        if len(self.stage_widths) != self._stages:
+            raise ValueError(
+                f"need {self._stages} stage widths, got {len(self.stage_widths)}"
+            )
+        if any(w < 2 for w in self.stage_widths):
+            raise ValueError("stage widths must be >= 2 bits")
+
+    @property
+    def stages(self) -> int:
+        return self._stages
+
+    def describe(self) -> str:
+        tw = f"k={self.twiddle_k}" if self.twiddle_k else "exact twiddles"
+        return f"ApproxFft(n={self.n}, dw={list(self.stage_widths)}, {tw})"
+
+
+class FixedPointFft:
+    """Bit-true DIT FFT with per-stage quantization and scaled butterflies.
+
+    The transform computes ``FFT(x) * 2**-stages`` (sign per ``sign``
+    argument); :attr:`output_scale` records the factor to divide out.
+
+    Args:
+        config: the :class:`ApproxFftConfig`.
+        sign: twiddle sign, -1 (forward, numpy convention) or +1.
+    """
+
+    def __init__(self, config: ApproxFftConfig, sign: int = -1):
+        if sign not in (-1, 1):
+            raise ValueError("sign must be -1 or +1")
+        self.config = config
+        self.sign = sign
+        n = config.n
+        self._rev = bit_reverse_indices(n)
+        self._rom = (
+            TwiddleRom(n, config.twiddle_k, config.twiddle_max_shift, sign)
+            if config.twiddle_k
+            else None
+        )
+        self._stage_tw = []
+        for s in range(1, config.stages + 1):
+            if self._rom is not None:
+                self._stage_tw.append(self._rom.stage_values(s))
+            else:
+                self._stage_tw.append(stage_twiddles(n, s, sign))
+
+    @property
+    def output_scale(self) -> float:
+        """Factor by which outputs are scaled relative to the exact DFT."""
+        return 2.0 ** -self.config.stages
+
+    @property
+    def rom(self) -> Optional[TwiddleRom]:
+        return self._rom
+
+    def __call__(self, x) -> np.ndarray:
+        """Run the fixed-point transform on complex input in ``[-1, 1)``."""
+        cfg = self.config
+        x = np.asarray(x, dtype=np.complex128)
+        if x.shape != (cfg.n,):
+            raise ValueError(f"expected shape ({cfg.n},), got {x.shape}")
+        if cfg.input_width is not None:
+            x = FxpFormat(cfg.input_width).quantize_complex(x)
+        out = x[self._rev].copy()
+        for s in range(1, cfg.stages + 1):
+            m = 1 << s
+            half = m >> 1
+            w = self._stage_tw[s - 1]
+            out = out.reshape(-1, m)
+            lo = out[:, :half].copy()
+            hi = out[:, half:] * w
+            # Halving keeps magnitudes in [-1, 1) regardless of stage count.
+            out[:, :half] = (lo + hi) * 0.5
+            out[:, half:] = (lo - hi) * 0.5
+            out = out.reshape(-1)
+            out = FxpFormat(cfg.stage_widths[s - 1]).quantize_complex(out)
+        return out
+
+    def reference(self, x) -> np.ndarray:
+        """Exact (float64) transform with the same scaling, for error studies."""
+        from repro.fftcore.reference import fft_dit
+
+        x = np.asarray(x, dtype=np.complex128)
+        return fft_dit(x, self.sign) * self.output_scale
+
+
+def transform_error(fxp: FixedPointFft, x) -> dict:
+    """Error statistics of one fixed-point transform vs the exact result.
+
+    Errors are reported relative to the *unscaled* spectrum (i.e. divided by
+    :attr:`FixedPointFft.output_scale`), which is the domain pointwise
+    products live in.
+
+    Returns:
+        dict with ``max_abs``, ``rms`` and ``rel_rms`` (RMS error over RMS
+        signal) keys.
+    """
+    approx = fxp(x) / fxp.output_scale
+    exact = fxp.reference(x) / fxp.output_scale
+    err = approx - exact
+    signal_rms = float(np.sqrt(np.mean(np.abs(exact) ** 2)))
+    rms = float(np.sqrt(np.mean(np.abs(err) ** 2)))
+    return {
+        "max_abs": float(np.max(np.abs(err))),
+        "rms": rms,
+        "rel_rms": rms / signal_rms if signal_rms else 0.0,
+    }

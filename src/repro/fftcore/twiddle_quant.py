@@ -1,0 +1,200 @@
+"""Quantized twiddle factors as sums of signed powers of two (Section IV-C1).
+
+A twiddle factor's real and imaginary parts lie in ``[-1, 1]`` and are
+approximated by ``k`` signed power-of-two terms (canonical-signed-digit
+style), so multiplication by a twiddle becomes ``k`` shifts and adds:
+``w = 21/32 -> a*w = a>>1 + a>>3 + a>>5`` (the paper's example).
+
+The quantization level ``k`` (number of nonzero digits) and the positional
+spread of the i-th digit across the whole ROM (which sets the hardware MUX
+width, capped at 8-to-1 in the paper) are both modeled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def csd_decompose(
+    value: float, k: int, max_shift: int = 16
+) -> List[Tuple[int, int]]:
+    """Greedy signed power-of-two decomposition of ``value`` in ``[-2, 2]``.
+
+    Repeatedly subtracts the nearest signed power of two ``sign * 2**-shift``
+    with ``0 <= shift <= max_shift`` from the residual, up to ``k`` terms.
+
+    Args:
+        value: number to approximate, ``|value| <= 2``.
+        k: maximum number of nonzero terms.
+        max_shift: largest right-shift representable (fraction precision).
+
+    Returns:
+        list of ``(sign, shift)`` pairs; reconstruction is
+        ``sum(sign * 2**-shift)``.
+    """
+    if abs(value) > 2:
+        raise ValueError(f"|value| must be <= 2, got {value}")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    terms: List[Tuple[int, int]] = []
+    residual = float(value)
+    for _ in range(k):
+        if residual == 0.0:
+            break
+        sign = 1 if residual > 0 else -1
+        mag = abs(residual)
+        # Nearest power of two to mag: compare against the geometric
+        # midpoint between adjacent powers.
+        shift = int(np.clip(round(-np.log2(mag)), 0, max_shift))
+        if 2.0**-shift > mag * np.sqrt(2) and shift < max_shift:
+            shift += 1
+        term = sign * 2.0**-shift
+        # Stop if the term no longer improves the approximation.
+        if abs(residual - term) >= abs(residual):
+            break
+        terms.append((sign, shift))
+        residual -= term
+    return terms
+
+
+def csd_value(terms: Sequence[Tuple[int, int]]) -> float:
+    """Reconstruct the value of a signed power-of-two decomposition."""
+    return float(sum(sign * 2.0**-shift for sign, shift in terms))
+
+
+@dataclass(frozen=True)
+class QuantizedTwiddle:
+    """One ROM entry: a complex twiddle with CSD real/imag parts."""
+
+    exponent: int
+    exact: complex
+    real_terms: Tuple[Tuple[int, int], ...]
+    imag_terms: Tuple[Tuple[int, int], ...]
+
+    @property
+    def value(self) -> complex:
+        return complex(csd_value(self.real_terms), csd_value(self.imag_terms))
+
+    @property
+    def error(self) -> float:
+        return abs(self.value - self.exact)
+
+    @property
+    def term_count(self) -> int:
+        """Total nonzero digits (shift-add operations per real multiply)."""
+        return len(self.real_terms) + len(self.imag_terms)
+
+
+@dataclass
+class RomStats:
+    """Aggregate statistics of a :class:`TwiddleRom` (drives the cost model)."""
+
+    k: int
+    max_shift: int
+    mean_terms_per_part: float
+    max_error: float
+    rms_error: float
+    mux_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def max_mux_size(self) -> int:
+        return max(self.mux_sizes) if self.mux_sizes else 0
+
+
+class TwiddleRom:
+    """Exponent-addressed ROM of quantized twiddles ``W_n^e``, e = 0..n-1.
+
+    The *merging* dataflow of Section IV-B sums twiddle exponents across
+    collapsed stages and uses the sum as the ROM address, so the ROM covers
+    every exponent rather than only per-stage values ("twiddle factor
+    exponents serve as addresses to fetch values from the ROM").
+
+    Args:
+        n: FFT core size (the ROM covers the n-th roots of unity).
+        k: quantization level - max signed power-of-two terms per part.
+        max_shift: largest right shift (fraction bit budget).
+        sign: -1 stores ``exp(-2*pi*i*e/n)`` (forward), +1 the conjugate.
+    """
+
+    def __init__(self, n: int, k: int, max_shift: int = 16, sign: int = -1):
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"n must be a power of two >= 2, got {n}")
+        if sign not in (-1, 1):
+            raise ValueError("sign must be -1 or +1")
+        self.n = n
+        self.k = k
+        self.max_shift = max_shift
+        self.sign = sign
+        self._entries: List[QuantizedTwiddle] = []
+        for e in range(n):
+            exact = np.exp(sign * 2j * np.pi * e / n)
+            self._entries.append(
+                QuantizedTwiddle(
+                    exponent=e,
+                    exact=complex(exact),
+                    real_terms=tuple(csd_decompose(exact.real, k, max_shift)),
+                    imag_terms=tuple(csd_decompose(exact.imag, k, max_shift)),
+                )
+            )
+        self._values = np.array(
+            [entry.value for entry in self._entries], dtype=np.complex128
+        )
+
+    def __len__(self) -> int:
+        return self.n
+
+    def entry(self, exponent: int) -> QuantizedTwiddle:
+        """ROM entry for ``W_n^exponent`` (exponent taken mod n)."""
+        return self._entries[exponent % self.n]
+
+    def lookup(self, exponents) -> np.ndarray:
+        """Vectorized quantized twiddle values for an array of exponents."""
+        idx = np.asarray(exponents, dtype=np.int64) % self.n
+        return self._values[idx]
+
+    def stage_values(self, stage: int) -> np.ndarray:
+        """Quantized twiddles of DIT stage ``stage`` (block size ``2**stage``)."""
+        m = 1 << stage
+        if m > self.n:
+            raise ValueError(f"stage {stage} out of range for n={self.n}")
+        j = np.arange(m // 2)
+        return self.lookup(j * (self.n // m))
+
+    def stats(self) -> RomStats:
+        """Quantization quality and MUX-width statistics for the cost model.
+
+        The i-th MUX selects the shift amount of the i-th nonzero digit; its
+        width is the number of distinct shifts that digit position takes
+        across the ROM.
+        """
+        errors = np.abs(self._values - np.array([e.exact for e in self._entries]))
+        parts = 2 * self.n
+        total_terms = sum(e.term_count for e in self._entries)
+        position_shifts: Dict[int, set] = {}
+        for entry in self._entries:
+            for terms in (entry.real_terms, entry.imag_terms):
+                for i, (_, shift) in enumerate(terms):
+                    position_shifts.setdefault(i, set()).add(shift)
+        mux_sizes = [
+            len(position_shifts[i]) for i in sorted(position_shifts)
+        ]
+        return RomStats(
+            k=self.k,
+            max_shift=self.max_shift,
+            mean_terms_per_part=total_terms / parts,
+            max_error=float(errors.max()),
+            rms_error=float(np.sqrt(np.mean(errors**2))),
+            mux_sizes=mux_sizes,
+        )
+
+
+def shift_add_count(entry: QuantizedTwiddle) -> int:
+    """Shift-add operations for one complex multiply by ``entry``.
+
+    ``(a+bi)(c+di)``: each of the four real products ``ac, bd, ad, bc``
+    costs ``len(terms)`` shifted additions of the input operand.
+    """
+    return 2 * (len(entry.real_terms) + len(entry.imag_terms))

@@ -1,0 +1,190 @@
+"""Pluggable polynomial-multiplication backends for plaintext-ciphertext
+products.
+
+The backend is where FLASH differs from NTT-based accelerators: the same
+BFV/Cheetah protocol runs either on the exact negacyclic NTT (F1, CHAM,
+HEAX, ...) or on the approximate folded FFT with fixed-point weight
+transforms (FLASH).  Both consume a ciphertext-ring polynomial and a
+signed small-coefficient weight vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.fftcore.approx_pipeline import ApproxNegacyclic, ApproxSpectrum
+from repro.fftcore.fixed_point import ApproxFftConfig
+from repro.he.poly import RingPoly
+
+
+class PolyMulBackend:
+    """Interface: multiply a ring polynomial by signed integer weights."""
+
+    def multiply(self, poly: RingPoly, weights: np.ndarray) -> RingPoly:
+        raise NotImplementedError
+
+
+class NttPolyMulBackend(PolyMulBackend):
+    """Exact product via the per-prime negacyclic NTT (the baseline)."""
+
+    def multiply(self, poly: RingPoly, weights: np.ndarray) -> RingPoly:
+        w = RingPoly.from_signed(poly.basis, weights)
+        return poly * w
+
+
+class CachedNttBackend(PolyMulBackend):
+    """Exact NTT backend that pre-stores weight spectra (Figure 1's trade).
+
+    The paper: "it is possible to pre-compute and store the weight
+    polynomials in the NTT domain, but it incurs significant memory
+    overhead ... 23 GB for a 4-bit ResNet-50, more than 1000x higher".
+    This backend realizes that option: each distinct weight polynomial's
+    per-prime NTT spectrum is computed once and cached, and the cache's
+    memory footprint is tracked so the trade-off can be measured.
+
+    Args:
+        capacity_bytes: optional cache budget; exceeding it raises
+            :class:`MemoryError` (models the paper's infeasibility point).
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        self.capacity_bytes = capacity_bytes
+        self._spectra: Dict[Tuple[int, bytes], list] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def cached_bytes(self) -> int:
+        """Memory held by cached NTT-domain weights (8 bytes per word)."""
+        return sum(
+            8 * sum(len(component) for component in spectra)
+            for spectra in self._spectra.values()
+        )
+
+    def _weight_spectra(self, basis, weights: np.ndarray) -> list:
+        from repro.ntt.ntt import get_ntt
+
+        key = (basis.n, weights.tobytes())
+        if key in self._spectra:
+            self.hits += 1
+            return self._spectra[key]
+        self.misses += 1
+        residues = basis.to_rns(weights)
+        spectra = [
+            get_ntt(basis.n, prime).forward(component)
+            for prime, component in zip(basis.primes, residues)
+        ]
+        self._spectra[key] = spectra
+        if (
+            self.capacity_bytes is not None
+            and self.cached_bytes > self.capacity_bytes
+        ):
+            raise MemoryError(
+                f"NTT-domain weight cache exceeds {self.capacity_bytes} "
+                "bytes (the Figure 1 memory wall)"
+            )
+        return spectra
+
+    def multiply(self, poly: RingPoly, weights: np.ndarray) -> RingPoly:
+        from repro.ntt.modmath import mulmod
+        from repro.ntt.ntt import get_ntt
+
+        basis = poly.basis
+        weights = np.ascontiguousarray(weights, dtype=np.int64)
+        w_spectra = self._weight_spectra(basis, weights)
+        out = []
+        for prime, component, w_spec in zip(
+            basis.primes, poly.residues, w_spectra
+        ):
+            ntt = get_ntt(basis.n, prime)
+            out.append(ntt.inverse(mulmod(ntt.forward(component), w_spec, prime)))
+        return RingPoly(basis, out)
+
+
+class FftPolyMulBackend(PolyMulBackend):
+    """Approximate product via the FLASH folded-FFT pipeline.
+
+    The ciphertext polynomial is CRT-lifted to centered integers, multiplied
+    in the FFT domain (weight transform on the approximate fixed-point path,
+    everything else float64), rounded, and reduced back into RNS.  Weight
+    spectra are cached: in an HConv the same weight polynomial multiplies
+    both ciphertext components of every input tile, so hardware computes the
+    weight transform once (this is also why the second approach of
+    Section III-B wins -- activation transforms are shared along output
+    channels).
+
+    Args:
+        weight_config: fixed-point configuration for the weight-transform
+            butterflies; ``None`` runs the weight path in float64 (the
+            "FFT (FP)" ablation arm).
+    """
+
+    def __init__(self, weight_config: Optional[ApproxFftConfig] = None):
+        self.weight_config = weight_config
+        self._pipelines: Dict[int, ApproxNegacyclic] = {}
+        self._spectrum_cache: Dict[Tuple[int, bytes], ApproxSpectrum] = {}
+
+    def pipeline(self, n: int) -> ApproxNegacyclic:
+        if n not in self._pipelines:
+            cfg = self.weight_config
+            if cfg is not None and cfg.n != n // 2:
+                raise ValueError(
+                    f"weight core is {cfg.n}-point but ring needs {n // 2}"
+                )
+            self._pipelines[n] = ApproxNegacyclic(n, cfg)
+        return self._pipelines[n]
+
+    def weight_spectrum(self, n: int, weights: np.ndarray) -> ApproxSpectrum:
+        """Cached approximate forward transform of a weight polynomial."""
+        weights = np.ascontiguousarray(weights, dtype=np.int64)
+        key = (n, weights.tobytes())
+        if key not in self._spectrum_cache:
+            self._spectrum_cache[key] = self.pipeline(n).weight_forward(weights)
+        return self._spectrum_cache[key]
+
+    def clear_cache(self) -> None:
+        self._spectrum_cache.clear()
+
+    def multiply(self, poly: RingPoly, weights: np.ndarray) -> RingPoly:
+        n = poly.basis.n
+        q = poly.basis.modulus
+        pipe = self.pipeline(n)
+        w_spec = self.weight_spectrum(n, np.asarray(weights))
+        # Centered lift loses only bits beyond float64's 53-bit mantissa --
+        # exactly the LSB error the approximate scheme is designed to absorb.
+        centered = np.array(
+            [float(v) for v in poly.to_centered()], dtype=np.float64
+        )
+        a_spec = pipe.activation_forward(centered)
+        product = pipe.multiply_spectra(w_spec, a_spec)
+        ints = [int(round(float(v))) % q for v in product]
+        return RingPoly(
+            poly.basis, poly.basis.to_rns(np.array(ints, dtype=object))
+        )
+
+
+def fp_fft_backend() -> FftPolyMulBackend:
+    """The double-precision FFT backend (no fixed-point approximation)."""
+    return FftPolyMulBackend(weight_config=None)
+
+
+def flash_backend(
+    n: int,
+    stage_widths=27,
+    twiddle_k: int = 5,
+    twiddle_max_shift: int = 16,
+) -> FftPolyMulBackend:
+    """FLASH's default approximate backend for ring dimension ``n``.
+
+    Defaults follow the paper: 27-bit fixed-point datapath (Figure 5(b))
+    and twiddle quantization level k=5 (Table II / Section IV-C1).
+    """
+    cfg = ApproxFftConfig(
+        n=n // 2,
+        stage_widths=stage_widths,
+        twiddle_k=twiddle_k,
+        twiddle_max_shift=twiddle_max_shift,
+    )
+    return FftPolyMulBackend(weight_config=cfg)

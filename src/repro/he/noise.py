@@ -1,0 +1,78 @@
+"""Analytic BFV noise-growth estimates (kernel-level robustness bounds).
+
+Section III-A of the paper: decryption remains correct as long as total
+noise (encryption noise + computation noise from the approximate FFT)
+stays below ``q / (2t)``.  These estimates let experiments budget how much
+FFT error is tolerable *before* running the cryptography.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.he.params import BfvParameters
+
+
+def fresh_noise_bound(params: BfvParameters, symmetric: bool = False) -> float:
+    """High-probability infinity-norm bound on fresh encryption noise.
+
+    Public-key BFV noise is ``e*u + e1 + s*e2`` (ternary u, s); a standard
+    central-limit bound gives ``sigma * tail * sqrt(2n * 2/3 + 1)`` per
+    component and roughly twice that for the public-key path.
+    """
+    sigma = params.error_std
+    tail = 6.0
+    per_product = sigma * math.sqrt(params.n * 2.0 / 3.0)
+    if symmetric:
+        return tail * sigma + 0.0 * per_product + tail * per_product * 0
+    return tail * math.sqrt(2 * per_product**2 + sigma**2)
+
+
+def plain_mult_noise_factor(weights) -> int:
+    """Worst-case noise growth factor of a plaintext multiply: ``||w||_1``."""
+    w = np.asarray(weights)
+    return int(np.abs(w.astype(np.int64)).sum())
+
+
+def accumulation_noise_factor(num_terms: int) -> int:
+    """Noise growth of homomorphically summing ``num_terms`` ciphertexts."""
+    if num_terms < 1:
+        raise ValueError("need at least one term")
+    return num_terms
+
+
+def predicted_budget_after_hconv(
+    params: BfvParameters, weights, num_accumulated: int = 1
+) -> float:
+    """Predicted noise budget (bits) after one plaintext-multiply-accumulate.
+
+    Args:
+        params: BFV parameters.
+        weights: one encoded weight polynomial (worst case over channels).
+        num_accumulated: ciphertext partial sums added together (tiling).
+
+    Returns:
+        estimated remaining bits before the ``q/(2t)`` ceiling; negative
+        means predicted decryption failure.
+    """
+    noise = (
+        fresh_noise_bound(params)
+        * plain_mult_noise_factor(weights)
+        * accumulation_noise_factor(num_accumulated)
+    )
+    return math.log2(params.noise_ceiling) - math.log2(max(noise, 1.0))
+
+
+def fft_error_tolerance(params: BfvParameters, margin_bits: float = 2.0) -> float:
+    """Largest per-coefficient FFT rounding error the kernel level absorbs.
+
+    The approximate FFT adds its computation error directly to the
+    decryption phase, so any error below ``q/(2t)`` (minus the part of the
+    budget already spent on encryption noise and a safety margin) cannot
+    change the decrypted message.
+    """
+    ceiling = float(params.noise_ceiling)
+    spent = fresh_noise_bound(params)
+    return max((ceiling - spent) / 2.0**margin_bits, 0.0)

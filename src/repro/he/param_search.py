@@ -1,0 +1,191 @@
+"""Automatic BFV parameter selection for hybrid HE/2PC inference.
+
+Section II-A: "t is determined by maximum sum-product bit-width, and q by
+the required noise budgets, security level."  This module turns a
+quantized layer description into concrete parameters:
+
+* ``t = 2^l`` with ``l`` = worst-case sum-product width (so shares never
+  wrap);
+* ``q`` sized for the post-HConv noise (fresh noise x ||w||_1 x
+  accumulated tiles, plus margin) while staying under the
+  homomorphic-encryption-standard ceiling for the ring dimension at the
+  requested security level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.he.params import BfvParameters
+
+#: Maximum log2(q) for (ring dimension, classical security bits), from the
+#: HomomorphicEncryption.org standard tables (ternary secrets).
+_MAX_LOGQ = {
+    (1024, 128): 27,
+    (2048, 128): 54,
+    (4096, 128): 109,
+    (8192, 128): 218,
+    (16384, 128): 438,
+    (1024, 192): 19,
+    (2048, 192): 37,
+    (4096, 192): 75,
+    (8192, 192): 152,
+    (16384, 192): 305,
+}
+
+#: RNS primes are drawn from this width (they must fit the mulmod kernel).
+_PRIME_BITS = 30
+
+
+class ParameterError(ValueError):
+    """No parameter set satisfies the request."""
+
+
+@dataclass(frozen=True)
+class ParameterReport:
+    """The selected parameters with their derivation."""
+
+    params: BfvParameters
+    sum_product_bits: int
+    noise_bits_needed: int
+    security_bits: int
+    max_logq: int
+
+    @property
+    def headroom_bits(self) -> float:
+        """Decryption margin: log2(q/2t) minus the predicted noise."""
+        return (
+            math.log2(self.params.noise_ceiling) - self.noise_bits_needed
+        )
+
+
+def max_log_q(n: int, security_bits: int = 128) -> int:
+    """Standard ceiling on log2(q) for a ring dimension/security pair."""
+    key = (n, security_bits)
+    if key not in _MAX_LOGQ:
+        raise ParameterError(
+            f"no standard entry for n={n}, lambda={security_bits}; "
+            f"known: {sorted(_MAX_LOGQ)}"
+        )
+    return _MAX_LOGQ[key]
+
+
+def noise_bits_for_hconv(
+    n: int,
+    w_bits: int,
+    kernel_taps: int,
+    accumulated_tiles: int = 1,
+    error_std: float = 3.2,
+) -> int:
+    """Bits of post-HConv noise (fresh noise x plaintext-mult growth).
+
+    Args:
+        n: ring dimension.
+        w_bits: weight bit-width (bounds ``||w||_inf``).
+        kernel_taps: non-zero weight coefficients per polynomial
+            (``C_w * kh * kw`` for conv layers).
+        accumulated_tiles: homomorphically summed partial products.
+        error_std: encryption noise standard deviation.
+    """
+    fresh = 6.0 * error_std * math.sqrt(2.0 * n * 2.0 / 3.0)
+    l1 = kernel_taps * (1 << (w_bits - 1))
+    total = fresh * l1 * max(1, accumulated_tiles)
+    return max(1, math.ceil(math.log2(total)))
+
+
+def select_parameters(
+    n: int,
+    in_bits: int,
+    w_bits: int,
+    accumulation_terms: int,
+    kernel_taps: int = 9,
+    accumulated_tiles: int = 1,
+    security_bits: int = 128,
+    margin_bits: int = 4,
+) -> ParameterReport:
+    """Pick ``(t, q)`` for a quantized layer on ring dimension ``n``.
+
+    Args:
+        n: ring dimension (power of two with a standard security entry).
+        in_bits / w_bits: activation and weight bit-widths.
+        accumulation_terms: worst-case terms per output sum-product
+            (``C * kh * kw``), which sets the plaintext width.
+        kernel_taps: non-zero weights per encoded polynomial (noise).
+        accumulated_tiles: channel tiles summed homomorphically.
+        security_bits: target classical security.
+        margin_bits: extra decryption-noise headroom.
+
+    Raises:
+        ParameterError: when no q under the security ceiling provides the
+            required noise budget.
+    """
+    from repro.nn.quant import sum_product_bits
+
+    sp_bits = sum_product_bits(in_bits, w_bits, accumulation_terms)
+    noise_bits = noise_bits_for_hconv(
+        n, w_bits, kernel_taps, accumulated_tiles
+    )
+    # Need q/2t > noise * 2^margin  =>  log q > sp + 1 + noise + margin.
+    logq_needed = sp_bits + 1 + noise_bits + margin_bits
+    ceiling = max_log_q(n, security_bits)
+    if logq_needed > ceiling:
+        raise ParameterError(
+            f"need log2(q) ~ {logq_needed} but n={n} allows at most "
+            f"{ceiling} at {security_bits}-bit security; increase n or "
+            "reduce the plaintext width"
+        )
+    q_bits = _compose_prime_widths(logq_needed)
+    params = BfvParameters(
+        n=n, plain_modulus=1 << sp_bits, q_bits=tuple(q_bits)
+    )
+    return ParameterReport(
+        params=params,
+        sum_product_bits=sp_bits,
+        noise_bits_needed=noise_bits,
+        security_bits=security_bits,
+        max_logq=ceiling,
+    )
+
+
+def _compose_prime_widths(logq: int) -> List[int]:
+    """Split a target modulus width into RNS prime widths (<= 30 bits)."""
+    widths = []
+    remaining = logq
+    while remaining > 0:
+        take = min(_PRIME_BITS, remaining)
+        if 0 < remaining - take < 20:
+            # Avoid a tiny trailing prime: rebalance the last two.
+            take = (remaining + 1) // 2
+        widths.append(max(take, 20))
+        remaining -= take
+    return widths
+
+
+def parameters_for_network(
+    layers: List[Tuple[int, int]],
+    n: int = 4096,
+    in_bits: int = 4,
+    w_bits: int = 4,
+    security_bits: int = 128,
+) -> ParameterReport:
+    """Parameters covering every layer of a network.
+
+    Args:
+        layers: ``(accumulation_terms, kernel_taps)`` per layer.
+        n / in_bits / w_bits / security_bits: as in
+            :func:`select_parameters`.
+    """
+    if not layers:
+        raise ParameterError("need at least one layer")
+    worst_terms = max(terms for terms, _ in layers)
+    worst_taps = max(taps for _, taps in layers)
+    return select_parameters(
+        n=n,
+        in_bits=in_bits,
+        w_bits=w_bits,
+        accumulation_terms=worst_terms,
+        kernel_taps=worst_taps,
+        security_bits=security_bits,
+    )

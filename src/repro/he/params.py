@@ -1,0 +1,118 @@
+"""BFV parameter sets used throughout the reproduction.
+
+The paper's protocol (Cheetah) instantiates BFV with polynomial degree
+``N = 4096``; the plaintext modulus ``t`` is a power of two matching the
+secret-sharing ring ``2**l``, and the ciphertext modulus ``q`` is chosen
+for the noise budget.  We provide the two instantiations the paper
+compares against plus scaled-down variants for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.ntt.rns import RnsBasis
+
+
+@dataclass(frozen=True)
+class BfvParameters:
+    """Immutable BFV parameter set.
+
+    Args:
+        n: ring dimension (polynomial degree), power of two.
+        plain_modulus: plaintext modulus ``t`` (power of two in Cheetah-style
+            protocols so it matches the arithmetic secret-sharing ring).
+        q_bits: bit widths of the RNS primes composing the ciphertext
+            modulus ``q``.
+        error_std: standard deviation of the centered-binomial-ish Gaussian
+            encryption noise.
+    """
+
+    n: int
+    plain_modulus: int
+    q_bits: Tuple[int, ...]
+    error_std: float = 3.2
+    _basis: RnsBasis = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self):
+        if self.n < 4 or self.n & (self.n - 1):
+            raise ValueError(f"n must be a power of two >= 4, got {self.n}")
+        if self.plain_modulus < 2:
+            raise ValueError("plaintext modulus must be >= 2")
+        basis = RnsBasis.generate(self.n, list(self.q_bits))
+        if basis.modulus <= 2 * self.plain_modulus:
+            raise ValueError("ciphertext modulus must exceed 2t")
+        object.__setattr__(self, "_basis", basis)
+
+    @property
+    def basis(self) -> RnsBasis:
+        """The RNS basis of the ciphertext modulus."""
+        return self._basis
+
+    @property
+    def q(self) -> int:
+        """Full ciphertext modulus (product of the RNS primes)."""
+        return self._basis.modulus
+
+    @property
+    def t(self) -> int:
+        return self.plain_modulus
+
+    @property
+    def delta(self) -> int:
+        """Plaintext scaling factor ``floor(q / t)``."""
+        return self.q // self.plain_modulus
+
+    @property
+    def noise_ceiling(self) -> int:
+        """Kernel-level error bound ``q / (2t)`` from Section III-A."""
+        return self.q // (2 * self.plain_modulus)
+
+    def describe(self) -> str:
+        bits = [p.bit_length() for p in self._basis.primes]
+        return (
+            f"BFV(n={self.n}, log2(q)={self.q.bit_length()}, "
+            f"rns_bits={bits}, t=2^{(self.t - 1).bit_length()}"
+            f"{'' if self.t & (self.t - 1) == 0 else f' ({self.t})'}, "
+            f"sigma={self.error_std})"
+        )
+
+
+def cheetah_preset(n: int = 4096, share_bits: int = 21) -> BfvParameters:
+    """Cheetah-style parameters: N=4096, ~60-bit q, power-of-two t.
+
+    ``share_bits`` is the secret-sharing ring width ``l`` (t = 2**l); the
+    default 21 bits covers W4A4 sum-products of ResNet-scale channel counts.
+    """
+    return BfvParameters(
+        n=n, plain_modulus=1 << share_bits, q_bits=(30, 30)
+    )
+
+
+def cham_preset(n: int = 4096, share_bits: int = 12) -> BfvParameters:
+    """CHAM-style single 39-bit modulus (Table II row 2).
+
+    The smaller q forces a smaller plaintext ring, as in the DAC'23 CHAM
+    accelerator this models.
+    """
+    return BfvParameters(n=n, plain_modulus=1 << share_bits, q_bits=(39,))
+
+
+def toy_preset(n: int = 64, share_bits: int = 10) -> BfvParameters:
+    """Small parameters for unit tests (insecure, fast)."""
+    return BfvParameters(n=n, plain_modulus=1 << share_bits, q_bits=(30, 30))
+
+
+def preset(name: str, **overrides) -> BfvParameters:
+    """Look up a named preset: ``cheetah``, ``cham`` or ``toy``."""
+    factories = {
+        "cheetah": cheetah_preset,
+        "cham": cham_preset,
+        "toy": toy_preset,
+    }
+    if name not in factories:
+        raise KeyError(
+            f"unknown preset {name!r}; choose from {sorted(factories)}"
+        )
+    return factories[name](**overrides)

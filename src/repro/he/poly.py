@@ -1,0 +1,127 @@
+"""Ring polynomials over the RNS ciphertext modulus, plus samplers."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ntt.rns import RnsBasis
+
+
+class RingPoly:
+    """Element of ``Z_q[X]/(X^n + 1)`` stored as RNS residues.
+
+    Thin arithmetic wrapper over :class:`repro.ntt.rns.RnsBasis`; supports
+    ``+``, ``-``, unary ``-`` and ``*`` (negacyclic product or scalar).
+    """
+
+    __slots__ = ("basis", "residues")
+
+    def __init__(self, basis: RnsBasis, residues: List[np.ndarray]):
+        if len(residues) != len(basis.primes):
+            raise ValueError("residue count does not match basis")
+        self.basis = basis
+        self.residues = residues
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def zero(cls, basis: RnsBasis) -> "RingPoly":
+        return cls(basis, basis.zero())
+
+    @classmethod
+    def from_signed(cls, basis: RnsBasis, coeffs) -> "RingPoly":
+        """Build from signed integer coefficients (any magnitude)."""
+        coeffs = np.asarray(coeffs)
+        if coeffs.shape != (basis.n,):
+            raise ValueError(f"expected {basis.n} coefficients")
+        return cls(basis, basis.to_rns(coeffs))
+
+    # -- conversions -----------------------------------------------------
+
+    def to_centered(self) -> np.ndarray:
+        """CRT-reconstructed coefficients in ``[-q/2, q/2)`` (object ints)."""
+        return self.basis.centered(self.residues)
+
+    def to_unsigned(self) -> np.ndarray:
+        """CRT-reconstructed coefficients in ``[0, q)`` (object ints)."""
+        return self.basis.from_rns(self.residues)
+
+    def copy(self) -> "RingPoly":
+        return RingPoly(self.basis, [r.copy() for r in self.residues])
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _require_same_ring(self, other: "RingPoly") -> None:
+        if self.basis is not other.basis and (
+            self.basis.primes != other.basis.primes
+            or self.basis.n != other.basis.n
+        ):
+            raise ValueError("operands live in different rings")
+
+    def __add__(self, other: "RingPoly") -> "RingPoly":
+        self._require_same_ring(other)
+        return RingPoly(self.basis, self.basis.add(self.residues, other.residues))
+
+    def __sub__(self, other: "RingPoly") -> "RingPoly":
+        self._require_same_ring(other)
+        return RingPoly(self.basis, self.basis.sub(self.residues, other.residues))
+
+    def __neg__(self) -> "RingPoly":
+        return RingPoly(self.basis, self.basis.neg(self.residues))
+
+    def __mul__(self, other) -> "RingPoly":
+        if isinstance(other, RingPoly):
+            self._require_same_ring(other)
+            return RingPoly(
+                self.basis, self.basis.mul(self.residues, other.residues)
+            )
+        return RingPoly(
+            self.basis, self.basis.mul_scalar(self.residues, int(other))
+        )
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RingPoly):
+            return NotImplemented
+        return all(
+            np.array_equal(a, b)
+            for a, b in zip(self.residues, other.residues)
+        )
+
+    def __repr__(self) -> str:
+        return f"RingPoly(n={self.basis.n}, primes={len(self.basis.primes)})"
+
+
+# ---------------------------------------------------------------------------
+# Samplers
+# ---------------------------------------------------------------------------
+
+def uniform_poly(basis: RnsBasis, rng: np.random.Generator) -> RingPoly:
+    """Uniformly random ring element (independent per RNS component)."""
+    residues = [
+        rng.integers(0, p, size=basis.n, dtype=np.uint64) for p in basis.primes
+    ]
+    return RingPoly(basis, residues)
+
+
+def ternary_poly(basis: RnsBasis, rng: np.random.Generator) -> RingPoly:
+    """Uniform ternary secret in {-1, 0, 1}^n (the BFV secret key)."""
+    coeffs = rng.integers(-1, 2, size=basis.n)
+    return RingPoly.from_signed(basis, coeffs)
+
+
+def gaussian_poly(
+    basis: RnsBasis,
+    rng: np.random.Generator,
+    std: float,
+    tail_bound: Optional[float] = 6.0,
+) -> RingPoly:
+    """Discrete-Gaussian-style error polynomial (rounded normal, clipped)."""
+    noise = np.rint(rng.normal(0.0, std, size=basis.n)).astype(np.int64)
+    if tail_bound is not None:
+        limit = int(np.ceil(std * tail_bound))
+        noise = np.clip(noise, -limit, limit)
+    return RingPoly.from_signed(basis, noise)

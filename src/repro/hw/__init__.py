@@ -1,0 +1,85 @@
+"""Hardware cost models: multipliers, butterflies, accelerator, energy."""
+
+from repro.hw.accelerator import (
+    ChamModel,
+    ComponentCost,
+    FlashAccelerator,
+    FlashDesign,
+    efficiency_ratios,
+    table3_rows,
+)
+from repro.hw.batch_analysis import (
+    BatchPoint,
+    batch_tradeoff,
+    flash_vs_cached_crossover,
+    ntt_weight_memory_gb,
+)
+from repro.hw.butterfly import (
+    ButterflyCost,
+    ButterflyLut,
+    approx_butterfly,
+    fp_butterfly,
+    fxp_butterfly,
+)
+from repro.hw.energy import (
+    WEIGHT_ARMS,
+    ablation_table,
+    f1_baseline_energy_mj,
+    flash_vs_f1_reduction,
+    hconv_energy_pj,
+    network_energy_mj,
+)
+from repro.hw.multipliers import (
+    MultiplierCost,
+    approx_shift_add_multiplier,
+    complex_fp_multiplier,
+    complex_fxp_multiplier,
+    complex_karatsuba_multiplier,
+    modular_multiplier,
+    table2_rows,
+)
+from repro.hw.workload import (
+    LayerWorkload,
+    aggregate,
+    conv_layer_workload,
+    linear_layer_workload,
+    network_workload,
+    spatial_tiles,
+)
+
+__all__ = [
+    "BatchPoint",
+    "ButterflyCost",
+    "ButterflyLut",
+    "ChamModel",
+    "ComponentCost",
+    "FlashAccelerator",
+    "FlashDesign",
+    "LayerWorkload",
+    "MultiplierCost",
+    "WEIGHT_ARMS",
+    "ablation_table",
+    "aggregate",
+    "approx_butterfly",
+    "batch_tradeoff",
+    "flash_vs_cached_crossover",
+    "approx_shift_add_multiplier",
+    "complex_fp_multiplier",
+    "complex_fxp_multiplier",
+    "complex_karatsuba_multiplier",
+    "conv_layer_workload",
+    "efficiency_ratios",
+    "f1_baseline_energy_mj",
+    "flash_vs_f1_reduction",
+    "fp_butterfly",
+    "fxp_butterfly",
+    "hconv_energy_pj",
+    "linear_layer_workload",
+    "modular_multiplier",
+    "network_energy_mj",
+    "network_workload",
+    "ntt_weight_memory_gb",
+    "spatial_tiles",
+    "table2_rows",
+    "table3_rows",
+]

@@ -1,0 +1,298 @@
+"""FLASH accelerator architecture model and Table III comparisons.
+
+Models the Figure 6 organization -- 60 approximate FFT PEs (4 BUs each)
+for weight transforms, 4 FP PEs for activation/inverse transforms, an FP
+multiplier array for point-wise products and FP accumulators -- from the
+component cost models, and derives throughput, area and power.  Baseline
+accelerators (HEAX / CHAM / F1 / BTS / ARK) enter as published constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fftcore.fixed_point import ApproxFftConfig
+from repro.hw import calibration as cal
+from repro.hw.butterfly import ButterflyLut, fp_butterfly
+from repro.hw.multipliers import complex_fp_multiplier
+from repro.hw.workload import LayerWorkload, aggregate
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Area / power of one architecture component."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+
+
+@dataclass
+class FlashDesign:
+    """Architecture parameters of Figure 6 (defaults = the paper's build)."""
+
+    n: int = 4096
+    data_width: int = cal.FLASH_DEFAULT_DW
+    twiddle_k: int = cal.FLASH_DEFAULT_K
+    approx_pes: int = cal.FLASH_APPROX_PES
+    fp_pes: int = cal.FLASH_FP_PES
+    bus_per_pe: int = cal.BUS_PER_PE
+    fp_mul_lanes: int = cal.FLASH_FP_MUL_LANES
+    acc_lanes: int = cal.FLASH_FP_ACC_LANES
+    frequency_hz: float = cal.FLASH_FREQ_HZ
+    stage_widths: Optional[List[int]] = None  # per-stage override (DSE)
+
+    @property
+    def core_points(self) -> int:
+        """FFT core size: the folded pipeline uses N/2 points."""
+        return self.n // 2
+
+    def weight_fft_config(self) -> ApproxFftConfig:
+        widths = (
+            self.stage_widths
+            if self.stage_widths is not None
+            else self.data_width
+        )
+        return ApproxFftConfig(
+            n=self.core_points,
+            stage_widths=widths,
+            twiddle_k=self.twiddle_k,
+        )
+
+
+class FlashAccelerator:
+    """Cost/performance model of one FLASH instance."""
+
+    def __init__(self, design: Optional[FlashDesign] = None,
+                 lut: Optional[ButterflyLut] = None):
+        self.design = design or FlashDesign()
+        self.lut = lut or ButterflyLut()
+
+    # ------------------------------------------------------------------
+    # Area / power (Figure 12 breakdown)
+    # ------------------------------------------------------------------
+
+    def component_costs(self) -> List[ComponentCost]:
+        d = self.design
+        cfg = d.weight_fft_config()
+        approx_area = (
+            d.approx_pes * self.lut.fft_area_um2(cfg, d.bus_per_pe) / 1e6
+        )
+        approx_power = (
+            d.approx_pes * self.lut.fft_power_mw(cfg, d.bus_per_pe) / 1e3
+        )
+        fp_bu = fp_butterfly(39)
+        fp_area = d.fp_pes * d.bus_per_pe * fp_bu.area_um2 / 1e6
+        fp_power = d.fp_pes * d.bus_per_pe * fp_bu.power_mw / 1e3
+        fp_mul = complex_fp_multiplier(39)
+        mul_area = d.fp_mul_lanes * fp_mul.area_um2 / 1e6
+        mul_power = d.fp_mul_lanes * fp_mul.power_mw / 1e3
+        acc_area = (
+            d.acc_lanes * 4 * 48 * cal.ADDER_AREA_PER_BIT_UM2 / 1e6
+        )
+        acc_power = (
+            d.acc_lanes * 4 * 48 * cal.ADDER_POWER_PER_BIT_MW / 1e3
+        )
+        a_cal, p_cal = cal.AREA_CALIBRATION, cal.POWER_CALIBRATION
+        return [
+            ComponentCost("approx_bu", approx_area * a_cal, approx_power * p_cal),
+            ComponentCost("fp_bu", fp_area * a_cal, fp_power * p_cal),
+            ComponentCost("fp_mul", mul_area * a_cal, mul_power * p_cal),
+            ComponentCost("fp_acc", acc_area * a_cal, acc_power * p_cal),
+            ComponentCost(
+                "mem_ctrl", cal.MEM_CTRL_AREA_MM2, cal.MEM_CTRL_POWER_W
+            ),
+        ]
+
+    def area_mm2(self, subsystem: str = "all") -> float:
+        return sum(
+            c.area_mm2 for c in self.component_costs()
+            if subsystem == "all" or c.name == subsystem
+        )
+
+    def power_w(self, subsystem: str = "all") -> float:
+        return sum(
+            c.power_w for c in self.component_costs()
+            if subsystem == "all" or c.name == subsystem
+        )
+
+    # ------------------------------------------------------------------
+    # Throughput
+    # ------------------------------------------------------------------
+
+    def weight_transform_rate(self, mults_per_fft: float) -> float:
+        """Sparse weight FFTs per second across all approximate PEs."""
+        d = self.design
+        if mults_per_fft <= 0:
+            raise ValueError("mults_per_fft must be positive")
+        cycles = mults_per_fft / d.bus_per_pe
+        return d.approx_pes * d.frequency_hz / cycles
+
+    def fp_transform_rate(self) -> float:
+        """Dense FP FFTs per second across the FP PEs."""
+        d = self.design
+        dense = (d.core_points // 2) * (d.core_points.bit_length() - 1)
+        cycles = dense / d.bus_per_pe
+        return d.fp_pes * d.frequency_hz / cycles
+
+    def norm_throughput_mops(self, workload: LayerWorkload) -> Dict[str, float]:
+        """Normalized transform throughput (Table III's MOPS column).
+
+        ``weight``: rate at which the approximate PEs retire weight
+        transforms for this workload's average sparsity.  ``all``: rate at
+        which the whole accelerator retires transforms when weight / input
+        / inverse transforms arrive in the workload's proportions.
+        """
+        w_rate = self.weight_transform_rate(workload.weight_mults_sparse)
+        fp_rate = self.fp_transform_rate()
+        fp_share = workload.input_transforms + workload.inverse_transforms
+        w_share = workload.weight_transforms
+        total = max(w_share + fp_share, 1)
+        # Two independent subsystems: time for the mix is the max of the
+        # per-subsystem times; throughput = transforms / time.
+        t_weight = w_share / w_rate if w_share else 0.0
+        t_fp = fp_share / fp_rate if fp_share else 0.0
+        t = max(t_weight, t_fp, 1e-30)
+        return {
+            "weight": w_rate / 1e6,
+            "all": (total / t) / 1e6,
+        }
+
+    # ------------------------------------------------------------------
+    # Latency (Table IV)
+    # ------------------------------------------------------------------
+
+    def layer_latency_s(self, workload: LayerWorkload) -> float:
+        """Transform latency of one layer's HConv.
+
+        Like the paper's Table IV, this prices the transform subsystems
+        (the accelerator's contribution); point-wise products stream
+        through the FP MUL array overlapped with the transforms and are
+        reported separately by :meth:`pointwise_latency_s` (the paper
+        names them as the *new* bottleneck left for future work).
+        """
+        d = self.design
+        dense = (d.core_points // 2) * (d.core_points.bit_length() - 1)
+        w_cycles = (
+            workload.weight_transforms
+            * workload.weight_mults_sparse
+            / (d.approx_pes * d.bus_per_pe)
+        )
+        fp_cycles = (
+            (workload.input_transforms + workload.inverse_transforms)
+            * dense
+            / (d.fp_pes * d.bus_per_pe)
+        )
+        return max(w_cycles, fp_cycles) / d.frequency_hz
+
+    def pointwise_latency_s(self, workload: LayerWorkload) -> float:
+        """Streaming time of the point-wise products on the FP MUL array."""
+        d = self.design
+        cycles = workload.pointwise_products * d.core_points / d.fp_mul_lanes
+        return cycles / d.frequency_hz
+
+    def network_latency_s(self, workloads: List[LayerWorkload]) -> float:
+        return sum(self.layer_latency_s(w) for w in workloads)
+
+
+@dataclass
+class ChamModel:
+    """CHAM-like NTT baseline: same BU count, FPGA clock, dense dataflow."""
+
+    n: int = 4096
+    bus: int = cal.FLASH_APPROX_PES * cal.BUS_PER_PE  # same scale as FLASH
+    frequency_hz: float = 300e6  # Table III FPGA clock
+
+    def layer_latency_s(self, workload: LayerWorkload) -> float:
+        # NTT accelerators transform at full length N (no folding) and
+        # cannot skip: every transform costs (N/2) log2 N butterflies.
+        # Point-wise products are excluded for symmetry with the FLASH
+        # transform-latency accounting.
+        dense_ntt = (self.n // 2) * (self.n.bit_length() - 1)
+        transforms = workload.total_transforms
+        mult_cycles = transforms * dense_ntt / self.bus
+        return mult_cycles / self.frequency_hz
+
+    def network_latency_s(self, workloads: List[LayerWorkload]) -> float:
+        return sum(self.layer_latency_s(w) for w in workloads)
+
+
+def table3_rows(
+    accelerator: Optional[FlashAccelerator] = None,
+    workloads: Optional[List[LayerWorkload]] = None,
+) -> List[Dict[str, object]]:
+    """Build Table III: published baselines + our computed FLASH rows.
+
+    Returns a list of dict rows with name / throughput / area / power /
+    efficiencies, with FLASH rows computed from the architecture model on
+    the given workload (ResNet-50 by default).
+    """
+    acc = accelerator or FlashAccelerator()
+    if workloads is None:
+        from repro.hw.workload import network_workload
+
+        workloads = network_workload("resnet50", acc.design.n)
+    total = aggregate(workloads)
+    rows: List[Dict[str, object]] = []
+    for base in cal.TABLE3_BASELINES:
+        rows.append(
+            {
+                "name": base.name,
+                "n": base.n,
+                "technology_nm": base.technology_nm,
+                "norm_throughput_mops": base.norm_throughput_mops,
+                "area_mm2": base.area_mm2,
+                "power_w": base.power_w,
+                "area_eff": base.area_efficiency,
+                "power_eff": base.power_efficiency,
+            }
+        )
+    mops = acc.norm_throughput_mops(total)
+    weight_area = acc.area_mm2("approx_bu")
+    weight_power = acc.power_w("approx_bu")
+    rows.append(
+        {
+            "name": "FLASH (weight transforms)",
+            "n": acc.design.n,
+            "technology_nm": cal.FLASH_TECH_NM,
+            "norm_throughput_mops": mops["weight"],
+            "area_mm2": weight_area,
+            "power_w": weight_power,
+            "area_eff": mops["weight"] / weight_area,
+            "power_eff": mops["weight"] / weight_power,
+        }
+    )
+    all_area = acc.area_mm2()
+    all_power = acc.power_w()
+    rows.append(
+        {
+            "name": "FLASH (all transforms)",
+            "n": acc.design.n,
+            "technology_nm": cal.FLASH_TECH_NM,
+            "norm_throughput_mops": mops["all"],
+            "area_mm2": all_area,
+            "power_w": all_power,
+            "area_eff": mops["all"] / all_area,
+            "power_eff": mops["all"] / all_power,
+        }
+    )
+    return rows
+
+
+def efficiency_ratios(rows: List[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
+    """Power/area-efficiency improvement of each FLASH row vs ASIC baselines."""
+    asics = [r for r in rows if r["name"] in ("F1", "BTS", "ARK")]
+    out: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        if not str(row["name"]).startswith("FLASH"):
+            continue
+        power_ratios = [row["power_eff"] / a["power_eff"] for a in asics]
+        area_ratios = [row["area_eff"] / a["area_eff"] for a in asics]
+        out[str(row["name"])] = {
+            "power_eff_min": min(power_ratios),
+            "power_eff_max": max(power_ratios),
+            "area_eff_min": min(area_ratios),
+            "area_eff_max": max(area_ratios),
+        }
+    return out

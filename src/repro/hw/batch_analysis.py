@@ -1,0 +1,106 @@
+"""Batch amortization: recompute weight transforms vs pre-store them.
+
+Figure 1's dilemma: an NTT-based server either re-transforms every weight
+polynomial per inference (the compute bottleneck) or pre-stores them in
+the NTT domain (~23 GB for 4-bit ResNet-50).  FLASH's pitch is a third
+option -- make the weight transform cheap enough to recompute.  This model
+quantifies all three across batch sizes:
+
+* ``ntt_recompute``: dense N-point NTTs for everything, every image;
+* ``ntt_cached``: weight spectra computed once and stored (memory cost),
+  only activation/inverse NTTs and point-wise products per image;
+* ``flash``: sparse approximate weight FFTs recomputed per image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.hw import calibration as cal
+from repro.hw.energy import network_energy_mj
+from repro.hw.multipliers import modular_multiplier
+from repro.hw.workload import LayerWorkload, aggregate
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """Energy/memory of one strategy at one batch size."""
+
+    strategy: str
+    batch_size: int
+    energy_mj_per_image: float
+    weight_memory_gb: float
+
+
+def _ntt_component_energies_mj(
+    total: LayerWorkload, n: int
+) -> tuple:
+    """(weight, activation+inverse, pointwise) energy in mJ, NTT arms."""
+    per_op = modular_multiplier(32, "f1")
+    pj = cal.F1_MODMUL_POWER_MW  # native-node energy per op at 1 GHz
+    del per_op
+    dense_ntt = (n // 2) * (n.bit_length() - 1)
+    weight = total.weight_transforms * dense_ntt * pj / 1e9
+    act_inv = (
+        (total.input_transforms + total.inverse_transforms) * dense_ntt * pj / 1e9
+    )
+    pointwise = total.pointwise_products * n * pj / 1e9
+    return weight, act_inv, pointwise
+
+
+def ntt_weight_memory_gb(total: LayerWorkload, n: int, q_bytes: int = 8) -> float:
+    """Storage for all weight spectra in the NTT domain."""
+    return total.weight_transforms * n * q_bytes / 1e9
+
+
+def batch_tradeoff(
+    workloads: Iterable[LayerWorkload],
+    n: int = 4096,
+    batch_sizes: Iterable[int] = (1, 8, 64, 512),
+) -> List[BatchPoint]:
+    """Per-image energy and weight memory for the three strategies.
+
+    The cached-NTT strategy amortizes the one-time weight transforms over
+    the batch; FLASH and the recompute baseline are batch-flat.
+    """
+    workloads = list(workloads)
+    total = aggregate(workloads)
+    w_mj, ai_mj, pw_mj = _ntt_component_energies_mj(total, n)
+    flash_mj = sum(network_energy_mj(workloads, "flash").values())
+    memory_gb = ntt_weight_memory_gb(total, n)
+
+    points: List[BatchPoint] = []
+    for batch in batch_sizes:
+        if batch < 1:
+            raise ValueError("batch size must be >= 1")
+        points.append(
+            BatchPoint("ntt_recompute", batch, w_mj + ai_mj + pw_mj, 0.0)
+        )
+        points.append(
+            BatchPoint(
+                "ntt_cached", batch, w_mj / batch + ai_mj + pw_mj, memory_gb
+            )
+        )
+        points.append(BatchPoint("flash", batch, flash_mj, 0.0))
+    return points
+
+
+def flash_vs_cached_crossover(
+    workloads: Iterable[LayerWorkload], n: int = 4096
+) -> dict:
+    """Headline comparison at infinite batch (fully amortized cache).
+
+    Returns FLASH's per-image energy, the cached-NTT floor (activation /
+    inverse / point-wise only), and the memory the cache requires.
+    """
+    workloads = list(workloads)
+    total = aggregate(workloads)
+    _, ai_mj, pw_mj = _ntt_component_energies_mj(total, n)
+    flash_mj = sum(network_energy_mj(workloads, "flash").values())
+    return {
+        "flash_mj": flash_mj,
+        "cached_ntt_floor_mj": ai_mj + pw_mj,
+        "cache_memory_gb": ntt_weight_memory_gb(total, n),
+        "flash_over_floor": flash_mj / (ai_mj + pw_mj),
+    }

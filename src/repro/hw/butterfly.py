@@ -1,0 +1,189 @@
+"""Butterfly-unit cost models and the pre-synthesized LUT (Figure 10).
+
+A butterfly unit (BU) is one complex multiplier plus two complex adders.
+The DSE needs the cost of thousands of per-stage bit-width configurations;
+re-deriving each from the multiplier models would be cheap here but is
+expensive with real synthesis, so -- like the paper -- costs are
+pre-computed over a (bit-width x twiddle-k) grid and served from a lookup
+table.  A whole FFT configuration is costed by summing its stage entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.fftcore.fixed_point import ApproxFftConfig
+from repro.hw import calibration as cal
+from repro.hw.multipliers import (
+    MultiplierCost,
+    approx_shift_add_multiplier,
+    complex_fp_multiplier,
+    complex_fxp_multiplier,
+)
+
+
+@dataclass(frozen=True)
+class ButterflyCost:
+    """Area / power of one butterfly unit (complex mult + 2 complex adds)."""
+
+    name: str
+    area_um2: float
+    power_mw: float
+
+    @property
+    def energy_pj_per_op(self) -> float:
+        return self.power_mw  # 1 GHz: mW == pJ/op
+
+
+def _with_adders(mult: MultiplierCost, bits: int, name: str) -> ButterflyCost:
+    # Two complex adders = four real adders of `bits` width.
+    adder_area = 4 * bits * cal.ADDER_AREA_PER_BIT_UM2
+    adder_power = 4 * bits * cal.ADDER_POWER_PER_BIT_MW
+    return ButterflyCost(
+        name,
+        mult.area_um2 + adder_area,
+        mult.power_mw + adder_power,
+    )
+
+
+def fp_butterfly(mantissa_bits: int = 39) -> ButterflyCost:
+    """Floating-point BU (activation transforms, inverse transforms)."""
+    return _with_adders(
+        complex_fp_multiplier(mantissa_bits),
+        mantissa_bits + 9,
+        f"fp-bu-{mantissa_bits}m",
+    )
+
+
+def fxp_butterfly(bits: int) -> ButterflyCost:
+    """Full-precision fixed-point BU (the FXP-FFT ablation arm)."""
+    return _with_adders(
+        complex_fxp_multiplier(bits), bits, f"fxp-bu-{bits}b"
+    )
+
+
+def approx_butterfly(bits: int, k: int) -> ButterflyCost:
+    """Approximate BU with k-term shift-add twiddle multiplier."""
+    return _with_adders(
+        approx_shift_add_multiplier(bits, k), bits, f"approx-bu-{bits}b-k{k}"
+    )
+
+
+class ButterflyLut:
+    """LUT-based fast cost estimation (the Figure 10 workflow).
+
+    Args:
+        bit_range: inclusive (min, max) data widths to pre-compute.
+        k_range: inclusive (min, max) twiddle quantization levels; k = 0
+            entries are full-precision FXP butterflies.
+    """
+
+    def __init__(
+        self,
+        bit_range: Tuple[int, int] = (8, 48),
+        k_range: Tuple[int, int] = (0, 20),
+    ):
+        self.bit_range = bit_range
+        self.k_range = k_range
+        self._table: Dict[Tuple[int, int], ButterflyCost] = {}
+        for bits in range(bit_range[0], bit_range[1] + 1):
+            self._table[(bits, 0)] = fxp_butterfly(bits)
+            for k in range(max(1, k_range[0]), k_range[1] + 1):
+                self._table[(bits, k)] = approx_butterfly(bits, k)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def cost(self, bits: int, k: int = 0) -> ButterflyCost:
+        """Look up one BU cost (clamping to the pre-computed grid)."""
+        bits = min(max(bits, self.bit_range[0]), self.bit_range[1])
+        k = min(max(k, 0), self.k_range[1])
+        return self._table[(bits, k)]
+
+    def fft_power_mw(self, config: ApproxFftConfig, parallel_bus: int = 4) -> float:
+        """Average power of one FFT core built per ``config``.
+
+        The core has ``parallel_bus`` physical BUs time-multiplexed over
+        the stages; power is the stage-width-weighted mean BU power times
+        the BU count (each stage runs the same number of butterflies, so a
+        plain mean over stages is exact).
+        """
+        per_stage = [
+            self.cost(dw, config.twiddle_k).power_mw
+            for dw in config.stage_widths
+        ]
+        return parallel_bus * sum(per_stage) / len(per_stage)
+
+    def fft_area_um2(self, config: ApproxFftConfig, parallel_bus: int = 4) -> float:
+        """Area of one FFT core: BUs sized for the widest stage."""
+        widest = max(config.stage_widths)
+        return parallel_bus * self.cost(widest, config.twiddle_k).area_um2
+
+    def save(self, path: str) -> None:
+        """Persist the pre-computed grid to JSON (the Fig 10 artifact).
+
+        A real flow would populate this file from synthesis runs; saving
+        and re-loading keeps DSE sessions reproducible without re-running
+        the cost models.
+        """
+        import json
+
+        payload = {
+            "bit_range": list(self.bit_range),
+            "k_range": list(self.k_range),
+            "entries": [
+                {
+                    "bits": bits,
+                    "k": k,
+                    "name": cost.name,
+                    "area_um2": cost.area_um2,
+                    "power_mw": cost.power_mw,
+                }
+                for (bits, k), cost in sorted(self._table.items())
+            ],
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+
+    @classmethod
+    def load(cls, path: str) -> "ButterflyLut":
+        """Load a LUT previously written by :meth:`save`."""
+        import json
+
+        with open(path) as fh:
+            payload = json.load(fh)
+        lut = cls.__new__(cls)
+        lut.bit_range = tuple(payload["bit_range"])
+        lut.k_range = tuple(payload["k_range"])
+        lut._table = {
+            (entry["bits"], entry["k"]): ButterflyCost(
+                entry["name"], entry["area_um2"], entry["power_mw"]
+            )
+            for entry in payload["entries"]
+        }
+        if not lut._table:
+            raise ValueError(f"empty butterfly LUT in {path}")
+        return lut
+
+    def fft_energy_pj(
+        self,
+        config: ApproxFftConfig,
+        mult_count: Optional[int] = None,
+    ) -> float:
+        """Energy of one transform: per-butterfly energy x butterfly count.
+
+        Args:
+            config: the per-stage widths / twiddle k.
+            mult_count: butterflies actually executed (e.g. a sparse
+                count); defaults to the dense ``n/2 log2 n``.
+        """
+        n = config.n
+        dense = (n // 2) * config.stages
+        count = dense if mult_count is None else mult_count
+        per_stage = [
+            self.cost(dw, config.twiddle_k).energy_pj_per_op
+            for dw in config.stage_widths
+        ]
+        mean_energy = sum(per_stage) / len(per_stage)
+        return mean_energy * count

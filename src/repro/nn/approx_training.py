@@ -1,0 +1,171 @@
+"""Approximation-aware training (Section IV-C1).
+
+The paper: "with further approximation-aware training [25], [26], [35],
+k can be reduced to around 5 ... while the inference accuracy of W4A4
+ResNet-50 remains nearly unchanged", enabling the 62.8% post-training
+hardware cost reduction.  Approximate weight-path FFTs act as a
+deterministic kernel perturbation ``w -> w + dw`` (see
+:mod:`repro.nn.private`), so robustness is trained exactly like noise-
+injection adaptation: perturb the weights during each training step with
+noise matched to the FFT-induced perturbation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.encoding.conv_encoding import Conv2dEncoder, ConvShape
+from repro.fftcore.approx_pipeline import ApproxNegacyclic
+from repro.fftcore.fixed_point import ApproxFftConfig
+from repro.nn.data import Dataset
+from repro.nn.layers import Sequential, softmax_cross_entropy
+from repro.nn.training import SgdOptimizer
+
+
+def effective_kernel(
+    w: np.ndarray, shape: ConvShape, n: int, config: ApproxFftConfig
+) -> np.ndarray:
+    """The kernel FLASH *effectively* convolves with.
+
+    Round-trips each encoded weight polynomial through the approximate
+    forward transform and an exact inverse, then reads the perturbed taps
+    back out.  The result is a float kernel ``w + dw`` whose exact
+    convolution equals the approximate pipeline's output (up to the
+    activation-path float error).
+
+    Args:
+        w: integer kernel ``M x C x kh x kw``.
+        shape: stride-1 convolution shape matching ``w``.
+        n: ring degree.
+        config: the approximate weight-path configuration.
+    """
+    w = np.asarray(w)
+    enc = Conv2dEncoder(shape, n)
+    pipe = ApproxNegacyclic(n, config)
+    out = np.zeros(w.shape, dtype=np.float64)
+    wp = shape.padded_width
+    for (tile, m), poly in enc.encode_weights(w).items():
+        spec = pipe.weight_forward(poly)
+        poly_eff = pipe.base.inverse(spec.values)
+        cw = enc.channels_per_tile
+        for local, c in enumerate(enc.tile_channels(tile)):
+            if c >= shape.in_channels:
+                continue
+            base = (cw - 1 - local) * enc.plane
+            for u in range(shape.kernel_h):
+                for v in range(shape.kernel_w):
+                    idx = base + (shape.kernel_h - 1 - u) * wp + (
+                        shape.kernel_w - 1 - v
+                    )
+                    out[m, c, u, v] = poly_eff[idx]
+    return out
+
+
+def kernel_perturbation_rel(
+    shape: ConvShape,
+    n: int,
+    config: ApproxFftConfig,
+    weight_bits: int = 4,
+    seed: int = 0,
+) -> float:
+    """Relative magnitude of the FFT-induced kernel perturbation.
+
+    Measured on a random kernel of the layer's shape: ``rms(dw) / rms(w)``.
+    This is the noise level approximation-aware training should inject.
+    """
+    rng = np.random.default_rng(seed)
+    lim = 1 << (weight_bits - 1)
+    w = rng.integers(-lim, lim, size=(
+        shape.out_channels, shape.in_channels, shape.kernel_h, shape.kernel_w
+    ))
+    w_eff = effective_kernel(w, shape, n, config)
+    dw = w_eff - w
+    signal = float(np.sqrt(np.mean(w.astype(np.float64) ** 2)))
+    if signal == 0.0:
+        return 0.0
+    return float(np.sqrt(np.mean(dw**2))) / signal
+
+
+@dataclass
+class ApproxAwareResult:
+    """History of one approximation-aware fine-tuning run."""
+
+    losses: list
+    noise_rel: float
+
+
+def train_approx_aware(
+    model: Sequential,
+    dataset: Dataset,
+    noise_rel: float,
+    epochs: int = 4,
+    batch_size: int = 64,
+    lr: float = 0.02,
+    momentum: float = 0.9,
+    seed: int = 0,
+) -> ApproxAwareResult:
+    """Fine-tune ``model`` with weight-noise injection.
+
+    Each forward/backward pass runs on weights perturbed by zero-mean
+    Gaussian noise of standard deviation ``noise_rel * rms(|w|)`` per
+    parameter tensor (matching the approximate-FFT kernel perturbation);
+    the update is applied to the clean weights (straight-through).
+
+    Args:
+        model: trained float model to adapt (modified in place).
+        dataset: training data.
+        noise_rel: relative perturbation level (e.g. from
+            :func:`kernel_perturbation_rel`).
+        epochs / batch_size / lr / momentum / seed: SGD settings.
+    """
+    if noise_rel < 0:
+        raise ValueError("noise level must be non-negative")
+    rng = np.random.default_rng(seed)
+    opt = SgdOptimizer(model, lr=lr, momentum=momentum)
+    losses = []
+    weighted = [layer for layer in model.layers if hasattr(layer, "weight")]
+    for _ in range(epochs):
+        epoch_loss = 0.0
+        batches = 0
+        for x, y in dataset.batches(batch_size, rng):
+            saved = [(layer, layer.weight.copy()) for layer in weighted]
+            for layer, w0 in saved:
+                scale = noise_rel * float(np.sqrt(np.mean(w0**2)))
+                layer.weight += rng.normal(0.0, scale, size=w0.shape)
+            logits = model.forward(x, training=True)
+            loss, grad = softmax_cross_entropy(logits, y)
+            model.backward(grad)
+            for layer, w0 in saved:
+                layer.weight[...] = w0
+            opt.step()
+            epoch_loss += loss
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+    return ApproxAwareResult(losses=losses, noise_rel=noise_rel)
+
+
+def adapt_to_config(
+    model: Sequential,
+    dataset: Dataset,
+    config: ApproxFftConfig,
+    reference_shape: Optional[ConvShape] = None,
+    n: int = 256,
+    **train_kwargs,
+) -> ApproxAwareResult:
+    """Convenience: measure the config's perturbation level and fine-tune.
+
+    Args:
+        model: trained float model (modified in place).
+        dataset: training data.
+        config: the target approximate-FFT configuration.
+        reference_shape: layer shape used to estimate the perturbation
+            (a small default 3x3 layer when omitted).
+        n: ring degree for the estimate.
+        train_kwargs: forwarded to :func:`train_approx_aware`.
+    """
+    shape = reference_shape or ConvShape.square(2, 8, 4, 3)
+    noise_rel = kernel_perturbation_rel(shape, n, config)
+    return train_approx_aware(model, dataset, noise_rel, **train_kwargs)

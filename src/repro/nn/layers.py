@@ -1,0 +1,307 @@
+"""Minimal numpy neural-network layers with backpropagation.
+
+Enough machinery to train the small quantized CNNs used by the
+error-resilience studies: conv / linear / ReLU / pooling / flatten, a
+``Sequential`` container, and softmax cross-entropy.  Batched NCHW layout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int):
+    """(B, C, H, W) -> ((B, out_h*out_w, C*kh*kw) patches, out_h, out_w)."""
+    b, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    sb, sc, sh, sw = x.strides
+    shape = (b, c, oh, ow, kh, kw)
+    strides = (sb, sc, sh * stride, sw * stride, sh, sw)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    return (
+        patches.transpose(0, 2, 3, 1, 4, 5).reshape(b, oh * ow, c * kh * kw),
+        oh,
+        ow,
+    )
+
+
+class Layer:
+    """Base layer: forward caches what backward needs; params + grads lists."""
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[np.ndarray]:
+        return []
+
+    def gradients(self) -> List[np.ndarray]:
+        return []
+
+
+class Conv2d(Layer):
+    """2D convolution (cross-correlation), optional bias.
+
+    Args:
+        in_channels / out_channels / kernel: the usual.
+        stride, padding: spatial.
+        rng: initializer randomness (He-normal).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng or np.random.default_rng()
+        fan_in = in_channels * kernel * kernel
+        self.weight = rng.normal(
+            0.0, np.sqrt(2.0 / fan_in), size=(out_channels, in_channels, kernel, kernel)
+        )
+        self.bias = np.zeros(out_channels) if bias else None
+        self.stride = stride
+        self.padding = padding
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias) if bias else None
+        self._cache: Tuple = ()
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if self.padding:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (self.padding,) * 2, (self.padding,) * 2),
+            )
+        m, _, kh, kw = self.weight.shape
+        cols, oh, ow = _im2col(x, kh, kw, self.stride)
+        wmat = self.weight.reshape(m, -1)
+        out = cols @ wmat.T  # (B, oh*ow, M)
+        if self.bias is not None:
+            out = out + self.bias
+        if training:
+            self._cache = (x.shape, cols)
+        b = x.shape[0]
+        return out.transpose(0, 2, 1).reshape(b, m, oh, ow)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, cols = self._cache
+        b, m, oh, ow = grad.shape
+        gmat = grad.reshape(b, m, oh * ow).transpose(0, 2, 1)  # (B, P, M)
+        wmat = self.weight.reshape(m, -1)
+        self.grad_weight[...] = (
+            np.einsum("bpm,bpk->mk", gmat, cols).reshape(self.weight.shape)
+        )
+        if self.bias is not None:
+            self.grad_bias[...] = gmat.sum(axis=(0, 1))
+        gcols = gmat @ wmat  # (B, P, C*kh*kw)
+        # col2im (scatter-add patches back).
+        _, c, hp, wp = x_shape
+        kh, kw = self.weight.shape[2], self.weight.shape[3]
+        gx = np.zeros(x_shape)
+        patches = gcols.reshape(b, oh, ow, c, kh, kw)
+        for i in range(oh):
+            hi = i * self.stride
+            for j in range(ow):
+                wj = j * self.stride
+                gx[:, :, hi : hi + kh, wj : wj + kw] += patches[:, i, j]
+        if self.padding:
+            p = self.padding
+            gx = gx[:, :, p:-p, p:-p]
+        return gx
+
+    def parameters(self) -> List[np.ndarray]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+    def gradients(self) -> List[np.ndarray]:
+        return [self.grad_weight] + (
+            [self.grad_bias] if self.bias is not None else []
+        )
+
+
+class Linear(Layer):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng or np.random.default_rng()
+        self.weight = rng.normal(
+            0.0, np.sqrt(2.0 / in_features), size=(out_features, in_features)
+        )
+        self.bias = np.zeros(out_features) if bias else None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias) if bias else None
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._x = x
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.grad_weight[...] = grad.T @ self._x
+        if self.bias is not None:
+            self.grad_bias[...] = grad.sum(axis=0)
+        return grad @ self.weight
+
+    def parameters(self) -> List[np.ndarray]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+    def gradients(self) -> List[np.ndarray]:
+        return [self.grad_weight] + (
+            [self.grad_bias] if self.bias is not None else []
+        )
+
+
+class ReLU(Layer):
+    def __init__(self):
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class AvgPool2d(Layer):
+    def __init__(self, size: int):
+        self.size = size
+        self._in_shape: Tuple = ()
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        b, c, h, w = x.shape
+        s = self.size
+        if h % s or w % s:
+            raise ValueError(f"pool size {s} does not divide {h}x{w}")
+        if training:
+            self._in_shape = x.shape
+        return x.reshape(b, c, h // s, s, w // s, s).mean(axis=(3, 5))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        s = self.size
+        g = np.repeat(np.repeat(grad, s, axis=2), s, axis=3)
+        return g / (s * s)
+
+
+class MaxPool2d(Layer):
+    def __init__(self, size: int):
+        self.size = size
+        self._cache: Tuple = ()
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        b, c, h, w = x.shape
+        s = self.size
+        if h % s or w % s:
+            raise ValueError(f"pool size {s} does not divide {h}x{w}")
+        blocks = x.reshape(b, c, h // s, s, w // s, s)
+        out = blocks.max(axis=(3, 5))
+        if training:
+            mask = blocks == out[:, :, :, None, :, None]
+            self._cache = (mask, x.shape)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        mask, x_shape = self._cache
+        s = self.size
+        g = grad[:, :, :, None, :, None] * mask
+        return g.reshape(x_shape)
+
+
+class Flatten(Layer):
+    def __init__(self):
+        self._shape: Tuple = ()
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+class Residual(Layer):
+    """A residual branch: ``y = inner(x) + x`` (ResNet basic-block core).
+
+    The inner layers must preserve the activation shape.  Backward routes
+    the gradient through both the branch and the identity skip.
+    """
+
+    def __init__(self, *inner: Layer):
+        if not inner:
+            raise ValueError("residual block needs at least one inner layer")
+        self.inner = list(inner)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        y = x
+        for layer in self.inner:
+            y = layer.forward(y, training=training)
+        if y.shape != x.shape:
+            raise ValueError(
+                f"residual branch changed shape {x.shape} -> {y.shape}"
+            )
+        return y + x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = grad
+        for layer in reversed(self.inner):
+            g = layer.backward(g)
+        return g + grad
+
+    def parameters(self) -> List[np.ndarray]:
+        return [p for layer in self.inner for p in layer.parameters()]
+
+    def gradients(self) -> List[np.ndarray]:
+        return [g for layer in self.inner for g in layer.gradients()]
+
+
+class Sequential(Layer):
+    def __init__(self, *layers: Layer):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> List[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients()]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean loss and gradient w.r.t. logits for integer class labels."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(z)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    b = logits.shape[0]
+    loss = float(-np.log(probs[np.arange(b), labels] + 1e-12).mean())
+    grad = probs
+    grad[np.arange(b), labels] -= 1.0
+    return loss, grad / b

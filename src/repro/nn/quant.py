@@ -1,0 +1,113 @@
+"""Symmetric quantization utilities (the W4A4 regime of the paper).
+
+Quantization matters to FLASH twice over: low bit-width weights and
+activations shrink the HE plaintext modulus, and the *re-quantization* step
+between layers discards exactly the LSBs where approximate-FFT errors live
+(layer-level robustness, Section III-A / Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Symmetric uniform quantizer: ``x ~ q * scale`` with q in signed range."""
+
+    bits: int
+    scale: float
+
+    def __post_init__(self):
+        if self.bits < 2:
+            raise ValueError("need at least 2 bits")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def qmin(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Float tensor -> int64 codes (round-to-nearest, saturating)."""
+        q = np.rint(np.asarray(x, dtype=np.float64) / self.scale)
+        return np.clip(q, self.qmin, self.qmax).astype(np.int64)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        return np.asarray(q, dtype=np.float64) * self.scale
+
+
+def calibrate(x: np.ndarray, bits: int, percentile: float = 100.0) -> QuantParams:
+    """Choose a symmetric scale from data statistics.
+
+    Args:
+        x: calibration tensor.
+        bits: target bit-width.
+        percentile: clipping percentile of ``|x|`` (100 = max-abs).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    mag = float(np.percentile(np.abs(x), percentile)) if x.size else 0.0
+    if mag == 0.0:
+        mag = 1.0
+    return QuantParams(bits=bits, scale=mag / ((1 << (bits - 1)) - 1))
+
+
+def requantize_shift(sp: np.ndarray, shift: int, bits: int) -> np.ndarray:
+    """Hardware-style re-quantization: round-shift the sum-product down.
+
+    ``y = clip(round(sp / 2**shift))`` into the signed ``bits`` range.  The
+    discarded ``shift`` LSBs are where approximate-FFT errors are absorbed.
+    """
+    if shift < 0:
+        raise ValueError("shift must be >= 0")
+    sp = np.asarray(sp, dtype=np.int64)
+    if shift:
+        half = np.int64(1) << np.int64(shift - 1)
+        sp = (sp + half) >> np.int64(shift)
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return np.clip(sp, lo, hi)
+
+
+def choose_requant_shift(
+    sp: np.ndarray, bits: int, percentile: float = 100.0
+) -> int:
+    """Smallest shift fitting the sum-product into the target range.
+
+    ``percentile < 100`` clips outliers (saturating re-quantization), which
+    substantially improves low-bit accuracy -- the usual PTQ trade-off.
+    """
+    sp = np.asarray(sp, dtype=np.int64)
+    if sp.size == 0:
+        return 0
+    if percentile >= 100.0:
+        mag = float(np.max(np.abs(sp)))
+    else:
+        mag = float(np.percentile(np.abs(sp), percentile))
+    hi = (1 << (bits - 1)) - 1
+    shift = 0
+    while mag > hi:
+        mag /= 2.0
+        shift += 1
+    return shift
+
+
+def sum_product_bits(
+    in_bits: int, w_bits: int, accumulation_terms: int
+) -> int:
+    """Worst-case bit-width of a conv/FC sum-product.
+
+    Determines the plaintext modulus ``t`` ("t is determined by maximum
+    sum-product bit-width", Section II-A).
+    """
+    if accumulation_terms < 1:
+        raise ValueError("need at least one accumulation term")
+    per_term = (in_bits - 1) + (w_bits - 1)
+    acc_bits = (accumulation_terms - 1).bit_length()
+    return per_term + acc_bits + 1  # +1 sign

@@ -1,0 +1,130 @@
+"""ResNet-18 / ResNet-50 layer shape tables (ImageNet, 224x224 input).
+
+The paper's sparsity, op-count and energy experiments depend only on layer
+*shapes* (channels, spatial size, kernel, stride), which are published
+architecture facts -- no pre-trained weights required.  These tables drive
+Figures 1, 7, 11 and Tables III/IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.encoding.conv_encoding import ConvShape
+from repro.encoding.linear_encoding import LinearShape
+
+
+@dataclass(frozen=True)
+class NamedConvLayer:
+    """A convolution layer with its position in the network."""
+
+    index: int
+    name: str
+    shape: ConvShape
+
+
+def _conv(layers: List[NamedConvLayer], name: str, c, size, m, k, stride=1):
+    padding = k // 2
+    layers.append(
+        NamedConvLayer(
+            index=len(layers) + 1,
+            name=name,
+            shape=ConvShape.square(c, size, m, k, stride=stride, padding=padding),
+        )
+    )
+
+
+def resnet18_conv_layers() -> List[NamedConvLayer]:
+    """All 20 convolution layers of ResNet-18 (including downsamples)."""
+    layers: List[NamedConvLayer] = []
+    _conv(layers, "conv1", 3, 224, 64, 7, stride=2)
+    size = 56  # after 3x3/2 maxpool
+    channels = 64
+    for stage, (width, blocks) in enumerate(
+        [(64, 2), (128, 2), (256, 2), (512, 2)], start=1
+    ):
+        for block in range(blocks):
+            stride = 2 if stage > 1 and block == 0 else 1
+            prefix = f"layer{stage}.{block}"
+            _conv(layers, f"{prefix}.conv1", channels, size, width, 3, stride)
+            out_size = size // stride
+            _conv(layers, f"{prefix}.conv2", width, out_size, width, 3)
+            if stride != 1 or channels != width:
+                _conv(
+                    layers, f"{prefix}.downsample", channels, size, width, 1, stride
+                )
+            channels = width
+            size = out_size
+    return layers
+
+
+def resnet50_conv_layers() -> List[NamedConvLayer]:
+    """All 53 convolution layers of ResNet-50 (including downsamples)."""
+    layers: List[NamedConvLayer] = []
+    _conv(layers, "conv1", 3, 224, 64, 7, stride=2)
+    size = 56
+    channels = 64
+    for stage, (width, blocks) in enumerate(
+        [(64, 3), (128, 4), (256, 6), (512, 3)], start=1
+    ):
+        out_channels = width * 4
+        for block in range(blocks):
+            stride = 2 if stage > 1 and block == 0 else 1
+            prefix = f"layer{stage}.{block}"
+            _conv(layers, f"{prefix}.conv1", channels, size, width, 1)
+            _conv(layers, f"{prefix}.conv2", width, size, width, 3, stride)
+            out_size = size // stride
+            _conv(layers, f"{prefix}.conv3", width, out_size, out_channels, 1)
+            if stride != 1 or channels != out_channels:
+                _conv(
+                    layers,
+                    f"{prefix}.downsample",
+                    channels,
+                    size,
+                    out_channels,
+                    1,
+                    stride,
+                )
+            channels = out_channels
+            size = out_size
+    return layers
+
+
+def resnet18_fc() -> LinearShape:
+    return LinearShape(in_features=512, out_features=1000)
+
+
+def resnet50_fc() -> LinearShape:
+    return LinearShape(in_features=2048, out_features=1000)
+
+
+def conv_layers(network: str) -> List[NamedConvLayer]:
+    """Look up a network's conv layer table by name."""
+    tables = {
+        "resnet18": resnet18_conv_layers,
+        "resnet50": resnet50_conv_layers,
+    }
+    if network not in tables:
+        raise KeyError(f"unknown network {network!r}; choose from {sorted(tables)}")
+    return tables[network]()
+
+
+def get_layer(network: str, index: int) -> NamedConvLayer:
+    """1-based conv layer lookup (the paper cites ResNet-50 layers 28, 41)."""
+    layers = conv_layers(network)
+    if not 1 <= index <= len(layers):
+        raise IndexError(f"{network} has {len(layers)} conv layers")
+    return layers[index - 1]
+
+
+def residual_block_layers(network: str = "resnet50") -> List[NamedConvLayer]:
+    """The convs of one representative residual block (Figure 1 profiles)."""
+    layers = conv_layers(network)
+    prefix = "layer2.0"
+    return [layer for layer in layers if layer.name.startswith(prefix)]
+
+
+def total_macs(network: str) -> int:
+    """Total conv multiply-accumulates of one inference."""
+    return sum(layer.shape.macs for layer in conv_layers(network))

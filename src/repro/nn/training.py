@@ -1,0 +1,82 @@
+"""SGD training loop for the numpy CNN layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.nn.data import Dataset
+from repro.nn.layers import Sequential, softmax_cross_entropy
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class SgdOptimizer:
+    """Plain SGD with momentum over a layer container's parameters."""
+
+    def __init__(self, model: Sequential, lr: float = 0.05, momentum: float = 0.9):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.model = model
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in model.parameters()]
+
+    def step(self) -> None:
+        for p, g, v in zip(
+            self.model.parameters(), self.model.gradients(), self._velocity
+        ):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+def accuracy(model: Sequential, dataset: Dataset, batch_size: int = 256) -> float:
+    """Top-1 accuracy of the float model on a dataset."""
+    correct = 0
+    for start in range(0, len(dataset), batch_size):
+        x = dataset.images[start : start + batch_size]
+        y = dataset.labels[start : start + batch_size]
+        logits = model.forward(x, training=False)
+        correct += int((logits.argmax(axis=1) == y).sum())
+    return correct / len(dataset)
+
+
+def train(
+    model: Sequential,
+    dataset: Dataset,
+    epochs: int = 5,
+    batch_size: int = 64,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    seed: int = 0,
+) -> TrainResult:
+    """Train ``model`` in place with SGD + momentum on cross-entropy."""
+    rng = np.random.default_rng(seed)
+    opt = SgdOptimizer(model, lr=lr, momentum=momentum)
+    result = TrainResult()
+    for _ in range(epochs):
+        epoch_loss = 0.0
+        batches = 0
+        for x, y in dataset.batches(batch_size, rng):
+            logits = model.forward(x, training=True)
+            loss, grad = softmax_cross_entropy(logits, y)
+            model.backward(grad)
+            opt.step()
+            epoch_loss += loss
+            batches += 1
+        result.losses.append(epoch_loss / max(batches, 1))
+        result.train_accuracy.append(accuracy(model, dataset))
+    return result

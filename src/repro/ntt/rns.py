@@ -1,0 +1,144 @@
+"""Residue number system (RNS) basis over NTT-friendly primes.
+
+The mulmod kernel in :mod:`repro.ntt.modmath` supports moduli up to 40 bits;
+ciphertext moduli larger than that (e.g. the ~60-bit q used by our default
+BFV parameters) are represented as a product of coprime NTT primes.  All
+ring operations act component-wise per prime; only decryption needs the CRT
+reconstruction to full integers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.ntt import modmath
+from repro.ntt.ntt import get_ntt
+
+
+class RnsBasis:
+    """A CRT basis ``q = q_0 * q_1 * ... * q_{L-1}`` of NTT primes.
+
+    Args:
+        primes: pairwise-coprime primes, each ``= 1 (mod 2n)``.
+        n: ring dimension the basis will be used with (for validation).
+    """
+
+    def __init__(self, primes: Sequence[int], n: int):
+        primes = [int(p) for p in primes]
+        if not primes:
+            raise ValueError("RNS basis needs at least one prime")
+        for p in primes:
+            if not modmath.is_prime(p):
+                raise ValueError(f"{p} is not prime")
+            if (p - 1) % (2 * n) != 0:
+                raise ValueError(f"{p} is not NTT-friendly for n={n}")
+        for i, p in enumerate(primes):
+            for other in primes[i + 1:]:
+                if math.gcd(p, other) != 1:
+                    raise ValueError("basis primes must be pairwise coprime")
+        self.primes = tuple(primes)
+        self.n = n
+        self.modulus = math.prod(primes)
+        # CRT reconstruction constants: q/q_i and (q/q_i)^-1 mod q_i.
+        self._q_hat = [self.modulus // p for p in primes]
+        self._q_hat_inv = [
+            pow(qh % p, -1, p) for qh, p in zip(self._q_hat, primes)
+        ]
+        self._ntts = [get_ntt(n, p) for p in primes]
+
+    def __len__(self) -> int:
+        return len(self.primes)
+
+    def __repr__(self) -> str:
+        bits = [p.bit_length() for p in self.primes]
+        return f"RnsBasis(primes={list(self.primes)}, bits={bits}, n={self.n})"
+
+    @classmethod
+    def generate(cls, n: int, prime_bits: Iterable[int]) -> "RnsBasis":
+        """Generate a basis with one fresh prime per requested bit-width."""
+        primes = []
+        counts: dict = {}
+        for bits in prime_bits:
+            counts[bits] = counts.get(bits, 0) + 1
+        for bits, count in counts.items():
+            primes.extend(modmath.find_ntt_primes(bits, n, count))
+        return cls(primes, n)
+
+    # ------------------------------------------------------------------
+    # Representation conversions
+    # ------------------------------------------------------------------
+
+    def to_rns(self, coeffs) -> list:
+        """Reduce an integer coefficient vector into per-prime residues.
+
+        Accepts signed integers or object-dtype big integers; returns a list
+        of uint64 arrays, one per basis prime.
+        """
+        coeffs = np.asarray(coeffs)
+        out = []
+        for p in self.primes:
+            if coeffs.dtype == object:
+                out.append(
+                    np.array([int(c) % p for c in coeffs.tolist()], dtype=np.uint64)
+                )
+            else:
+                out.append((coeffs.astype(np.int64) % np.int64(p)).astype(np.uint64))
+        return out
+
+    def from_rns(self, residues: Sequence[np.ndarray]) -> np.ndarray:
+        """CRT-reconstruct residues into integers in ``[0, q)``.
+
+        Returns an object-dtype array (values can exceed 64 bits).
+        """
+        if len(residues) != len(self.primes):
+            raise ValueError("residue count does not match basis size")
+        n = len(residues[0])
+        values = [0] * n
+        for res, p, q_hat, q_hat_inv in zip(
+            residues, self.primes, self._q_hat, self._q_hat_inv
+        ):
+            res_list = [int(v) for v in np.asarray(res, dtype=np.uint64).tolist()]
+            for i, r in enumerate(res_list):
+                values[i] += (r * q_hat_inv % p) * q_hat
+        q = self.modulus
+        return np.array([v % q for v in values], dtype=object)
+
+    def centered(self, residues: Sequence[np.ndarray]) -> np.ndarray:
+        """CRT-reconstruct into the centered interval ``[-q/2, q/2)``."""
+        vals = self.from_rns(residues)
+        half = self.modulus // 2
+        return np.array(
+            [int(v) - self.modulus if int(v) > half else int(v) for v in vals],
+            dtype=object,
+        )
+
+    # ------------------------------------------------------------------
+    # Ring arithmetic (component-wise over the basis)
+    # ------------------------------------------------------------------
+
+    def add(self, a, b) -> list:
+        return [modmath.addmod(x, y, p) for x, y, p in zip(a, b, self.primes)]
+
+    def sub(self, a, b) -> list:
+        return [modmath.submod(x, y, p) for x, y, p in zip(a, b, self.primes)]
+
+    def neg(self, a) -> list:
+        return [modmath.negmod(x, p) for x, p in zip(a, self.primes)]
+
+    def mul(self, a, b) -> list:
+        """Negacyclic polynomial product per prime, via NTT."""
+        return [
+            ntt.multiply(x, y)
+            for ntt, x, y in zip(self._ntts, a, b)
+        ]
+
+    def mul_scalar(self, a, scalar: int) -> list:
+        return [
+            modmath.mulmod(x, scalar % p, p) for x, p in zip(a, self.primes)
+        ]
+
+    def zero(self) -> list:
+        return [np.zeros(self.n, dtype=np.uint64) for _ in self.primes]

@@ -1,0 +1,39 @@
+"""Hybrid HE/2PC protocol simulation: secret sharing + one-round HConv."""
+
+from repro.protocol.hybrid import (
+    HybridConvProtocol,
+    HybridLinearProtocol,
+    ProtocolResult,
+    ProtocolStats,
+    make_session,
+)
+from repro.protocol.private_network import (
+    PrivateCnnEvaluator,
+    PrivateInferenceTrace,
+)
+from repro.protocol.secret_sharing import ShareRing
+from repro.protocol.wire import (
+    ciphertext_bytes,
+    deserialize_ciphertext,
+    deserialize_poly,
+    roundtrip_check,
+    serialize_ciphertext,
+    serialize_poly,
+)
+
+__all__ = [
+    "HybridConvProtocol",
+    "HybridLinearProtocol",
+    "ProtocolResult",
+    "ProtocolStats",
+    "PrivateCnnEvaluator",
+    "PrivateInferenceTrace",
+    "ShareRing",
+    "ciphertext_bytes",
+    "deserialize_ciphertext",
+    "deserialize_poly",
+    "roundtrip_check",
+    "serialize_ciphertext",
+    "serialize_poly",
+    "make_session",
+]

@@ -1,0 +1,341 @@
+"""One-round hybrid HE/2PC linear-layer protocols (Figure 1 of the paper).
+
+The client encrypts its activation share and sends it; the server
+homomorphically reconstructs the activation, multiplies by its plaintext
+weights, subtracts a fresh random mask (its output share), and returns the
+ciphertexts; the client decrypts to obtain the other output share:
+
+    server computes  (Enc({x}^C) boxplus {x}^S) boxtimes w  boxminus s
+    client holds     {y}^C = y - s
+
+Both convolution and fully-connected layers are provided; the polynomial
+multiplication backend is pluggable (exact NTT vs FLASH's approximate FFT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.encoding.conv_encoding import (
+    Conv2dEncoder,
+    ConvShape,
+    decompose_strided,
+    iter_row_bands,
+    pad_input,
+)
+from repro.encoding.linear_encoding import LinearEncoder, LinearShape
+from repro.he.backend import PolyMulBackend
+from repro.he.bfv import BfvContext, PublicKey, SecretKey
+from repro.he.params import BfvParameters
+from repro.protocol.secret_sharing import ShareRing
+from repro.protocol.wire import ciphertext_bytes
+
+
+@dataclass
+class ProtocolStats:
+    """Traffic and workload accounting for one protocol run."""
+
+    ciphertexts_sent: int = 0
+    ciphertexts_returned: int = 0
+    weight_transforms: int = 0
+    input_transforms: int = 0
+    inverse_transforms: int = 0
+    min_noise_budget: float = float("inf")
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    @property
+    def total_transforms(self) -> int:
+        return (
+            self.weight_transforms
+            + self.input_transforms
+            + self.inverse_transforms
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of one private linear-layer evaluation."""
+
+    client_share: np.ndarray
+    server_share: np.ndarray
+    reconstructed: np.ndarray
+    expected: np.ndarray
+    stats: ProtocolStats = field(default_factory=ProtocolStats)
+
+    @property
+    def max_error(self) -> int:
+        """Worst absolute deviation from the exact plaintext result."""
+        return int(
+            np.max(np.abs(self.reconstructed.astype(np.int64) - self.expected))
+        )
+
+    @property
+    def exact(self) -> bool:
+        return self.max_error == 0
+
+
+class _PartyPair:
+    """Shared key material and ring for one client/server session."""
+
+    def __init__(self, params: BfvParameters, rng: np.random.Generator):
+        if params.t & (params.t - 1):
+            raise ValueError("hybrid protocol needs a power-of-two plaintext modulus")
+        self.params = params
+        self.ctx = BfvContext(params)
+        self.ring = ShareRing(params.t.bit_length() - 1)
+        self.sk, self.pk = self.ctx.keygen(rng)
+
+
+class HybridConvProtocol:
+    """Private convolution via coefficient-encoded BFV (Cheetah-style).
+
+    Args:
+        params: BFV parameters; ``t`` must be a power of two.
+        shape: convolution shape (stride/padding supported).
+        backend: polynomial multiplication backend (exact NTT default).
+    """
+
+    def __init__(
+        self,
+        params: BfvParameters,
+        shape: ConvShape,
+        backend: Optional[PolyMulBackend] = None,
+    ):
+        self.params = params
+        self.shape = shape
+        self.backend = backend
+
+    def run(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        rng: np.random.Generator,
+        session: Optional[_PartyPair] = None,
+    ) -> ProtocolResult:
+        """Evaluate ``conv(x, w)`` privately and verify against plaintext.
+
+        Args:
+            x: clear activation tensor ``C x H x W`` (signed ints); it is
+                secret-shared internally before the protocol starts.
+            w: server weights ``M x C x kh x kw`` (signed ints).
+            rng: randomness for keys, shares and masks.
+            session: optional pre-generated key material (reuse across
+                layers).
+        """
+        from repro.encoding.plain_eval import conv2d_direct
+
+        party = session or _PartyPair(self.params, rng)
+        ring, ctx = party.ring, party.ctx
+        stats = ProtocolStats()
+
+        x = np.asarray(x, dtype=np.int64)
+        w = np.asarray(w, dtype=np.int64)
+        expected = conv2d_direct(x, w, stride=self.shape.stride, padding=self.shape.padding)
+        if not ring.fits_signed(expected):
+            raise ValueError(
+                "convolution output overflows the sharing ring; "
+                "increase the plaintext modulus"
+            )
+
+        x_client, x_server = ring.share(x, rng)
+        xc_pad = pad_input(ring.to_signed(x_client), self.shape.padding)
+        xs_pad = pad_input(ring.to_signed(x_server), self.shape.padding)
+
+        padded_shape = ConvShape(
+            in_channels=self.shape.in_channels,
+            height=self.shape.padded_height,
+            width=self.shape.padded_width,
+            out_channels=self.shape.out_channels,
+            kernel_h=self.shape.kernel_h,
+            kernel_w=self.shape.kernel_w,
+            stride=self.shape.stride,
+            padding=0,
+        )
+
+        y_client = np.zeros_like(expected)
+        y_server = np.zeros_like(expected)
+        oh, ow = expected.shape[1], expected.shape[2]
+        s = self.shape.stride
+        for phase, a, b in decompose_strided(padded_shape):
+            xc_phase = xc_pad[:, a::s, b::s][:, : phase.height, : phase.width]
+            xs_phase = xs_pad[:, a::s, b::s][:, : phase.height, : phase.width]
+            w_phase = w[:, :, a::s, b::s]
+            for row_start, band in iter_row_bands(phase, self.params.n):
+                enc = Conv2dEncoder(band, self.params.n)
+                rows = slice(row_start, row_start + band.height)
+                yc, ys = self._run_phase(
+                    party, enc, xc_phase[:, rows, :], xs_phase[:, rows, :],
+                    w_phase, rng, stats,
+                )
+                r1 = min(row_start + yc.shape[1], oh)
+                pad_rows = r1 - row_start
+                if pad_rows <= 0:
+                    continue
+                yc_full = np.zeros_like(y_client)
+                ys_full = np.zeros_like(y_server)
+                yc_full[:, row_start:r1, :ow] = yc[:, :pad_rows, :ow]
+                ys_full[:, row_start:r1, :ow] = ys[:, :pad_rows, :ow]
+                y_client = ring.add(y_client, yc_full)
+                y_server = ring.add(y_server, ys_full)
+
+        reconstructed = ring.reconstruct(y_client, y_server)
+        del ctx  # evaluation state lives in the party object
+        return ProtocolResult(
+            client_share=y_client,
+            server_share=y_server,
+            reconstructed=reconstructed,
+            expected=expected,
+            stats=stats,
+        )
+
+    def _run_phase(
+        self,
+        party: _PartyPair,
+        enc: Conv2dEncoder,
+        xc: np.ndarray,
+        xs: np.ndarray,
+        w: np.ndarray,
+        rng: np.random.Generator,
+        stats: ProtocolStats,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        ctx, ring = party.ctx, party.ring
+        t = self.params.t
+
+        # Client: encrypt each tile of its share.
+        client_polys = enc.encode_input(xc)
+        cts = [
+            ctx.encrypt_symmetric(party.sk, poly % t, rng)
+            for poly in client_polys
+        ]
+        stats.ciphertexts_sent += len(cts)
+        stats.bytes_sent += len(cts) * ciphertext_bytes(self.params)
+        stats.input_transforms += len(cts)
+
+        # Server: reconstruct activation under encryption, multiply, mask.
+        server_polys = enc.encode_input(xs)
+        w_polys = enc.encode_weights(w)
+        counts = enc.transforms_per_hconv()
+        stats.weight_transforms += counts["weight_forward"]
+        stats.inverse_transforms += counts["inverse"]
+
+        # Partial products accumulate across channel tiles under encryption
+        # (uniform tiles share extraction indices), so one masked
+        # ciphertext returns per output channel.
+        full_cts = [
+            ctx.add_plain(ct, server_polys[tile] % t)
+            for tile, ct in enumerate(cts)
+        ]
+        oh, ow = enc.shape.out_height, enc.shape.out_width
+        y_client = np.zeros((enc.shape.out_channels, oh, ow), dtype=np.int64)
+        y_server = np.zeros_like(y_client)
+        for m in range(enc.shape.out_channels):
+            acc = None
+            for tile, full in enumerate(full_cts):
+                prod = ctx.multiply_plain(full, w_polys[(tile, m)], self.backend)
+                acc = prod if acc is None else ctx.add(acc, prod)
+            r = ring.random(self.params.n, rng)
+            ct_out = ctx.sub_plain(acc, r)
+            stats.ciphertexts_returned += 1
+            stats.bytes_received += ciphertext_bytes(self.params)
+            stats.min_noise_budget = min(
+                stats.min_noise_budget, ctx.noise_budget(party.sk, ct_out)
+            )
+            y_client[m] = ring.reduce(
+                enc.extract_output(ctx.decrypt(party.sk, ct_out))
+            )
+            y_server[m] = ring.reduce(enc.extract_output(r))
+        return y_client, y_server
+
+
+class HybridLinearProtocol:
+    """Private fully-connected layer ``y = W @ x`` (same one-round flow)."""
+
+    def __init__(
+        self,
+        params: BfvParameters,
+        shape: LinearShape,
+        backend: Optional[PolyMulBackend] = None,
+    ):
+        self.params = params
+        self.shape = shape
+        self.backend = backend
+
+    def run(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        rng: np.random.Generator,
+        session: Optional[_PartyPair] = None,
+    ) -> ProtocolResult:
+        party = session or _PartyPair(self.params, rng)
+        ring, ctx = party.ring, party.ctx
+        stats = ProtocolStats()
+        t = self.params.t
+
+        x = np.asarray(x, dtype=np.int64)
+        w = np.asarray(w, dtype=np.int64)
+        expected = (w @ x).astype(np.int64)
+        if not ring.fits_signed(expected):
+            raise ValueError("matvec output overflows the sharing ring")
+
+        x_client, x_server = ring.share(x, rng)
+        enc = LinearEncoder(self.shape, self.params.n)
+
+        client_polys = enc.encode_input(ring.to_signed(x_client))
+        server_polys = enc.encode_input(ring.to_signed(x_server))
+        w_polys = enc.encode_weights(w)
+        counts = enc.transforms_per_matvec()
+        stats.weight_transforms += counts["weight_forward"]
+        stats.inverse_transforms += counts["inverse"]
+
+        cts = [
+            ctx.encrypt_symmetric(party.sk, poly % t, rng)
+            for poly in client_polys
+        ]
+        stats.ciphertexts_sent += len(cts)
+        stats.bytes_sent += len(cts) * ciphertext_bytes(self.params)
+        stats.input_transforms += len(cts)
+
+        masked = {}
+        masks = {}
+        for chunk, ct in enumerate(cts):
+            full = ctx.add_plain(ct, server_polys[chunk] % t)
+            for group in range(enc.num_row_groups):
+                prod = ctx.multiply_plain(
+                    full, w_polys[(chunk, group)], self.backend
+                )
+                r = ring.random(self.params.n, rng)
+                masked[(chunk, group)] = ctx.sub_plain(prod, r)
+                masks[(chunk, group)] = r
+        stats.ciphertexts_returned += len(masked)
+        stats.bytes_received += len(masked) * ciphertext_bytes(self.params)
+
+        client_products = {}
+        for key, ct_out in masked.items():
+            stats.min_noise_budget = min(
+                stats.min_noise_budget, ctx.noise_budget(party.sk, ct_out)
+            )
+            client_products[key] = ctx.decrypt(party.sk, ct_out)
+        y_client = ring.reduce(enc.decode_output(client_products))
+        y_server = ring.reduce(enc.decode_output(masks))
+
+        return ProtocolResult(
+            client_share=y_client,
+            server_share=y_server,
+            reconstructed=ring.reconstruct(y_client, y_server),
+            expected=expected,
+            stats=stats,
+        )
+
+
+def make_session(params: BfvParameters, rng: np.random.Generator) -> _PartyPair:
+    """Generate reusable key material for a sequence of protocol runs."""
+    return _PartyPair(params, rng)

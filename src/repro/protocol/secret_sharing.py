@@ -1,0 +1,69 @@
+"""Arithmetic secret sharing over ``Z_{2^l}`` (the 2PC half of the hybrid).
+
+An l-bit value ``x`` is split into ``{x}^C + {x}^S = x (mod 2^l)`` held by
+client and server.  In Cheetah-style protocols the sharing ring matches the
+BFV plaintext modulus ``t = 2^l``, so homomorphic results convert to shares
+for free.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class ShareRing:
+    """The ring ``Z_{2^l}`` with signed (centered) semantics.
+
+    Args:
+        bits: ring width ``l`` (2..62 so numpy int64 holds centered values).
+    """
+
+    def __init__(self, bits: int):
+        if not 2 <= bits <= 62:
+            raise ValueError(f"ring width must be in [2, 62], got {bits}")
+        self.bits = bits
+        self.modulus = 1 << bits
+
+    def reduce(self, x) -> np.ndarray:
+        """Map integers into ``[0, 2^l)``."""
+        return np.asarray(x, dtype=np.int64) % self.modulus
+
+    def to_signed(self, x) -> np.ndarray:
+        """Centered lift into ``[-2^(l-1), 2^(l-1))``."""
+        x = self.reduce(x)
+        half = self.modulus >> 1
+        return np.where(x >= half, x - self.modulus, x)
+
+    def share(
+        self, x, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Split ``x`` into a uniformly random additive sharing."""
+        x = self.reduce(x)
+        client = rng.integers(0, self.modulus, size=x.shape, dtype=np.int64)
+        server = self.reduce(x - client)
+        return client, server
+
+    def reconstruct(self, client, server) -> np.ndarray:
+        """Recombine shares into signed values."""
+        return self.to_signed(self.reduce(client) + self.reduce(server))
+
+    def add(self, a, b) -> np.ndarray:
+        return self.reduce(np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64))
+
+    def sub(self, a, b) -> np.ndarray:
+        return self.reduce(np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64))
+
+    def neg(self, a) -> np.ndarray:
+        return self.reduce(-np.asarray(a, dtype=np.int64))
+
+    def random(self, shape, rng: np.random.Generator) -> np.ndarray:
+        """A uniformly random ring element (the server's output mask)."""
+        return rng.integers(0, self.modulus, size=shape, dtype=np.int64)
+
+    def fits_signed(self, x) -> bool:
+        """True if signed values are representable without wrap-around."""
+        x = np.asarray(x, dtype=np.int64)
+        half = self.modulus >> 1
+        return bool(np.all(x >= -half) and np.all(x < half))

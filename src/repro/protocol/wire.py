@@ -1,0 +1,99 @@
+"""Ciphertext / key serialization and traffic accounting.
+
+Gives the protocol concrete wire formats so communication costs (the
+Figure 1 communication slice) are measured from real byte counts instead
+of estimates.  The format is deliberately simple: little-endian uint64
+residue words behind a fixed header.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.he.bfv import Ciphertext
+from repro.he.params import BfvParameters
+from repro.he.poly import RingPoly
+
+_MAGIC = b"FLSH"
+_HEADER = struct.Struct("<4sHHI")  # magic, version, num_primes, n
+_VERSION = 1
+
+
+def serialize_poly(poly: RingPoly) -> bytes:
+    """Serialize one ring polynomial (all RNS components)."""
+    parts = [
+        _HEADER.pack(_MAGIC, _VERSION, len(poly.basis.primes), poly.basis.n)
+    ]
+    for prime, residues in zip(poly.basis.primes, poly.residues):
+        parts.append(struct.pack("<Q", prime))
+        parts.append(
+            np.ascontiguousarray(residues, dtype="<u8").tobytes()
+        )
+    return b"".join(parts)
+
+
+def deserialize_poly(data: bytes, params: BfvParameters) -> Tuple[RingPoly, int]:
+    """Parse one polynomial; returns ``(poly, bytes_consumed)``.
+
+    Raises:
+        ValueError: on malformed data or parameter mismatch.
+    """
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated polynomial header")
+    magic, version, num_primes, n = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ValueError("bad magic; not a serialized polynomial")
+    if version != _VERSION:
+        raise ValueError(f"unsupported version {version}")
+    basis = params.basis
+    if n != basis.n or num_primes != len(basis.primes):
+        raise ValueError("parameter mismatch")
+    offset = _HEADER.size
+    residues: List[np.ndarray] = []
+    for expected_prime in basis.primes:
+        if len(data) < offset + 8 + 8 * n:
+            raise ValueError("truncated polynomial body")
+        (prime,) = struct.unpack_from("<Q", data, offset)
+        if prime != expected_prime:
+            raise ValueError("RNS prime mismatch")
+        offset += 8
+        res = np.frombuffer(data, dtype="<u8", count=n, offset=offset).copy()
+        if np.any(res >= np.uint64(prime)):
+            raise ValueError("residue out of range")
+        residues.append(res)
+        offset += 8 * n
+    return RingPoly(basis, residues), offset
+
+
+def serialize_ciphertext(ct: Ciphertext) -> bytes:
+    """Serialize a degree-1 ciphertext (c0 then c1)."""
+    return serialize_poly(ct.c0) + serialize_poly(ct.c1)
+
+
+def deserialize_ciphertext(data: bytes, params: BfvParameters) -> Ciphertext:
+    c0, used = deserialize_poly(data, params)
+    c1, used2 = deserialize_poly(data[used:], params)
+    if used + used2 != len(data):
+        raise ValueError("trailing bytes after ciphertext")
+    return Ciphertext(c0=c0, c1=c1)
+
+
+def ciphertext_bytes(params: BfvParameters) -> int:
+    """Wire size of one ciphertext under this format."""
+    per_poly = _HEADER.size + len(params.basis.primes) * (8 + 8 * params.n)
+    return 2 * per_poly
+
+
+def roundtrip_check(ct: Ciphertext, params: BfvParameters) -> bool:
+    """Serialize-deserialize and compare (used by tests and examples)."""
+    restored = deserialize_ciphertext(serialize_ciphertext(ct), params)
+    return all(
+        np.array_equal(a, b)
+        for a, b in zip(
+            ct.c0.residues + ct.c1.residues,
+            restored.c0.residues + restored.c1.residues,
+        )
+    )

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("tables", "sparsity", "ablation", "dse", "profile", "demo"):
+            args = parser.parse_args(
+                [cmd] if cmd != "dse" else [cmd, "--budget", "4"]
+            )
+            assert args.command == cmd
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_network(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sparsity", "--network", "vgg"])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "private conv" in out
+        assert "KiB of traffic" in out
+
+    def test_ablation_runs(self, capsys):
+        assert main(["ablation", "--network", "resnet18"]) == 0
+        out = capsys.readouterr().out
+        assert "flash" in out
+        assert "energy reduction vs F1" in out
+
+    def test_dse_small_budget(self, capsys):
+        assert main(
+            ["dse", "--layer", "41", "--budget", "16", "--n", "1024"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "power mW" in out
+
+    def test_sparsity_resnet18(self, capsys):
+        assert main(["sparsity", "--network", "resnet18"]) == 0
+        out = capsys.readouterr().out
+        assert "layer1.0.conv1" in out
+
+    def test_profile_runs(self, capsys):
+        assert main(["profile", "--network", "resnet18", "--n", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "weight_ntt" in out
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out = str(tmp_path / "REPORT.md")
+        assert main(["report", "--out", out]) == 0
+        text = open(out).read()
+        assert "# FLASH reproduction report" in text
+        assert "Table II" in text
+        assert "Table III" in text
+        assert "Table IV" in text
+        assert "ablation" in text
+        assert "Batch amortization" in text
+
+    def test_generate_report_returns_text(self):
+        from repro.analysis import generate_report
+
+        text = generate_report(path=None, networks=("resnet18",))
+        assert "resnet18" in text
+        assert "Table III" not in text  # resnet50-only section skipped

@@ -1,0 +1,315 @@
+"""Tests for the DSE: space, error model, GP/BO, Pareto, layer driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    DesignPoint,
+    DesignSpace,
+    GaussianProcess,
+    bayesian_optimize,
+    expected_improvement,
+    explore_layer,
+    hconv_error_variance,
+    hypervolume_2d,
+    monte_carlo_hconv_error,
+    monte_carlo_spectrum_error,
+    pareto_front,
+    pareto_mask,
+    random_search,
+    spectrum_error_variance,
+    stage_twiddle_errors,
+)
+from repro.encoding import Conv2dEncoder, ConvShape
+from repro.fftcore import ApproxFftConfig
+
+
+class TestDesignSpace:
+    def test_sample_in_bounds(self):
+        space = DesignSpace(stages=5, width_range=(8, 39), k_range=(2, 18))
+        rng = np.random.default_rng(0)
+        for point in space.sample_many(50, rng):
+            assert all(8 <= w <= 39 for w in point.stage_widths)
+            assert 2 <= point.twiddle_k <= 18
+            assert len(point.stage_widths) == 5
+
+    def test_encode_normalized(self):
+        space = DesignSpace(stages=3)
+        point = space.uniform_point(39, 18)
+        enc = space.encode(point)
+        assert enc.shape == (4,)
+        np.testing.assert_allclose(enc, 1.0)
+
+    def test_neighbors_stay_in_bounds(self):
+        space = DesignSpace(stages=4, width_range=(8, 20), k_range=(2, 6))
+        rng = np.random.default_rng(1)
+        point = space.uniform_point(8, 2)
+        for nb in space.neighbors(point, rng, count=20):
+            assert all(8 <= w <= 20 for w in nb.stage_widths)
+            assert 2 <= nb.twiddle_k <= 6
+
+    def test_point_to_config(self):
+        point = DesignPoint((10, 12, 14), 5)
+        cfg = point.to_config(8)
+        assert cfg.stage_widths == [10, 12, 14]
+        assert cfg.twiddle_k == 5
+        with pytest.raises(ValueError):
+            point.to_config(16)
+
+    def test_invalid_space(self):
+        with pytest.raises(ValueError):
+            DesignSpace(stages=0)
+        with pytest.raises(ValueError):
+            DesignSpace(stages=2, width_range=(10, 8))
+
+
+class TestErrorModel:
+    def test_data_quantization_term_accurate(self):
+        for dw in (12, 16, 20):
+            cfg = ApproxFftConfig(n=128, stage_widths=dw)
+            pred = spectrum_error_variance(cfg, signal_power=0.125)
+            mc = monte_carlo_spectrum_error(cfg, trials=6)
+            assert 0.4 < pred / mc < 2.5
+
+    def test_twiddle_term_within_factor(self):
+        for dw, k in [(27, 5), (20, 8), (27, 18)]:
+            cfg = ApproxFftConfig(n=128, stage_widths=dw, twiddle_k=k)
+            pred = spectrum_error_variance(cfg, signal_power=0.125)
+            mc = monte_carlo_spectrum_error(cfg, trials=6)
+            assert 0.2 < pred / mc < 5.0
+
+    def test_monotone_in_width(self):
+        errs = [
+            spectrum_error_variance(ApproxFftConfig(n=64, stage_widths=dw))
+            for dw in (10, 14, 18, 22)
+        ]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_monotone_in_k(self):
+        errs = [
+            spectrum_error_variance(
+                ApproxFftConfig(n=64, stage_widths=30, twiddle_k=k)
+            )
+            for k in (2, 5, 10, 18)
+        ]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_stage_twiddle_errors_trivial_early(self):
+        eps = stage_twiddle_errors(64, 5)
+        assert eps[0] == 0.0  # stage 1 uses W^0 = 1 only
+        assert eps[-1] >= eps[1]
+
+    def test_hconv_error_matches_bit_true_pipeline(self):
+        # End-to-end surrogate validation against the exact simulator.
+        n = 256
+        enc = Conv2dEncoder(ConvShape.square(2, 8, 4, 3), n)
+        rng = np.random.default_rng(0)
+        w = rng.integers(-8, 8, size=(4, 2, 3, 3))
+        wpoly = enc.encode_weights(w)[(0, 0)]
+        from repro.fftcore.negacyclic import NegacyclicFft
+
+        folded = NegacyclicFft(n).fold(wpoly.astype(float)) / 16.0
+        p_in = float(np.mean(np.abs(folded) ** 2))
+        act_var = (2 * 5) ** 2 / 12
+        for dw, k in [(14, 4), (20, 6), (16, 8)]:
+            cfg = ApproxFftConfig(n=n // 2, stage_widths=dw, twiddle_k=k)
+            pred = (
+                spectrum_error_variance(cfg, signal_power=p_in)
+                * 16.0**2
+                * act_var
+            )
+            mc = monte_carlo_hconv_error(cfg, wpoly, n, trials=6)
+            assert 0.2 < pred / mc < 5.0
+
+    def test_input_width_contributes(self):
+        base = ApproxFftConfig(n=64, stage_widths=30)
+        narrow = ApproxFftConfig(n=64, stage_widths=30, input_width=6)
+        assert spectrum_error_variance(narrow) > spectrum_error_variance(base)
+
+    def test_hconv_error_variance_scales_with_activation(self):
+        cfg = ApproxFftConfig(n=32, stage_widths=16, twiddle_k=4)
+        lo = hconv_error_variance(cfg, 0.01, activation_power=1.0, poly_n=64)
+        hi = hconv_error_variance(cfg, 0.01, activation_power=16.0, poly_n=64)
+        assert hi == pytest.approx(16 * lo)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(12, 3))
+        y = np.sin(x.sum(axis=1) * 3)
+        gp = GaussianProcess(noise_var=1e-8).fit(x, y)
+        mean, std = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.05)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.zeros((3, 2))
+        x[:, 0] = [0.0, 0.1, 0.2]
+        gp = GaussianProcess().fit(x, np.array([1.0, 1.1, 0.9]))
+        _, std_near = gp.predict(np.array([[0.1, 0.0]]))
+        _, std_far = gp.predict(np.array([[1.0, 1.0]]))
+        assert std_far > std_near
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            GaussianProcess(length_scale=-1.0)
+
+    def test_expected_improvement_properties(self):
+        # EI is higher where the mean is lower (same std)...
+        ei = expected_improvement(np.array([0.5, 0.1]), np.array([0.1, 0.1]), 0.4)
+        assert ei[1] > ei[0]
+        # ...and higher where std is larger (same mean at the incumbent).
+        ei2 = expected_improvement(np.array([0.4, 0.4]), np.array([0.01, 0.3]), 0.4)
+        assert ei2[1] > ei2[0]
+        assert np.all(ei >= 0)
+
+
+class TestPareto:
+    def test_mask_simple(self):
+        obj = np.array([[1, 5], [2, 2], [5, 1], [3, 3], [6, 6]])
+        mask = pareto_mask(obj)
+        assert mask.tolist() == [True, True, True, False, False]
+
+    def test_front_sorted(self):
+        points = ["a", "b", "c"]
+        obj = np.array([[3.0, 1.0], [1.0, 3.0], [2.0, 2.0]])
+        front, arr = pareto_front(points, obj)
+        assert front == ["b", "c", "a"]
+        assert arr[0, 0] == 1.0
+
+    def test_duplicate_points_survive(self):
+        obj = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert pareto_mask(obj).sum() == 2
+
+    def test_hypervolume(self):
+        obj = np.array([[1.0, 2.0], [2.0, 1.0]])
+        hv = hypervolume_2d(obj, (3.0, 3.0))
+        # staircase: (3-1)*(3-2) + (3-2)*(2-1) = 3
+        assert hv == pytest.approx(3.0)
+
+    def test_hypervolume_clips_outside(self):
+        obj = np.array([[5.0, 5.0]])
+        assert hypervolume_2d(obj, (3.0, 3.0)) == 0.0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            pareto_mask(np.zeros(3))
+        with pytest.raises(ValueError):
+            pareto_front(["a"], np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.zeros((2, 3)), (1.0, 1.0))
+
+
+def _toy_objective(point: DesignPoint):
+    # Smooth synthetic trade-off: power grows with widths/k, error shrinks.
+    mean_w = float(np.mean(point.stage_widths))
+    power = mean_w + 0.5 * point.twiddle_k
+    error = 1000.0 * 2.0 ** -(mean_w / 2) + 50.0 * 2.0 ** -point.twiddle_k
+    return power, error
+
+
+class TestBayesianOptimization:
+    def test_runs_within_budget(self):
+        space = DesignSpace(stages=4)
+        run = bayesian_optimize(
+            space, _toy_objective, budget=25, initial=8,
+            rng=np.random.default_rng(3),
+        )
+        assert len(run.points) == 25
+        assert len(run.objectives) == 25
+
+    def test_front_is_nondominated(self):
+        space = DesignSpace(stages=4)
+        run = bayesian_optimize(
+            space, _toy_objective, budget=25, initial=8,
+            rng=np.random.default_rng(4),
+        )
+        _, front = run.front()
+        assert np.all(np.diff(front[:, 0]) >= 0)
+        assert np.all(np.diff(front[:, 1]) <= 0)
+
+    def test_beats_or_matches_random_on_hypervolume(self):
+        space = DesignSpace(stages=4)
+        wins = 0
+        for seed in range(3):
+            bo = bayesian_optimize(
+                space, _toy_objective, budget=30, initial=10,
+                rng=np.random.default_rng(seed),
+            )
+            rs = random_search(
+                space, _toy_objective, budget=30,
+                rng=np.random.default_rng(seed),
+            )
+            both = np.vstack([bo.as_array(), rs.as_array()])
+            ref = tuple(both.max(axis=0) * 1.1)
+            if hypervolume_2d(bo.as_array(), ref) >= hypervolume_2d(
+                rs.as_array(), ref
+            ):
+                wins += 1
+        assert wins >= 2
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            bayesian_optimize(DesignSpace(stages=2), _toy_objective, budget=2,
+                              initial=10)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=5, deadline=None)
+    def test_property_no_duplicate_evaluations(self, seed):
+        space = DesignSpace(stages=3, width_range=(8, 12), k_range=(2, 4))
+        run = bayesian_optimize(
+            space, _toy_objective, budget=15, initial=5,
+            rng=np.random.default_rng(seed),
+        )
+        assert len(set(run.points)) == len(run.points)
+
+
+class TestExploreLayer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        shape = ConvShape.square(2, 8, 4, 3)
+        return explore_layer(shape, n=256, budget=24, seed=0)
+
+    def test_front_nonempty(self, result):
+        points, front = result.front()
+        assert len(points) >= 2
+        assert front.shape[1] == 2
+
+    def test_tradeoff_exists(self, result):
+        _, front = result.front()
+        if len(front) >= 2:
+            assert front[0, 1] >= front[-1, 1]
+            assert front[0, 0] <= front[-1, 0]
+
+    def test_best_under_error_threshold(self, result):
+        arr = result.run.as_array()
+        threshold = float(np.median(arr[:, 1]))
+        best = result.best_under_error(threshold)
+        assert best is not None
+        power, err = result.problem.objective(best)
+        assert err < threshold
+
+    def test_impossible_threshold_returns_none(self, result):
+        assert result.best_under_error(0.0) is None
+
+    def test_random_method(self):
+        shape = ConvShape.square(2, 8, 4, 3)
+        res = explore_layer(shape, n=256, budget=10, method="random", seed=1)
+        assert len(res.run.points) == 10
+        with pytest.raises(ValueError):
+            explore_layer(shape, n=256, budget=5, method="annealing")
+
+    def test_power_objective_uses_sparsity(self, result):
+        dense_like = result.problem.lut.fft_power_mw(
+            result.run.points[0].to_config(128)
+        )
+        assert result.problem.power_mw(result.run.points[0]) < dense_like

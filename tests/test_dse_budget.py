@@ -1,0 +1,109 @@
+"""Tests for error budgets and the network-wide DSE."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dse import (
+    explore_network,
+    requant_error_budget,
+    uniform_fallback_plan,
+)
+from repro.encoding import ConvShape
+
+
+def _toy_layers():
+    return [
+        ("conv1", ConvShape.square(2, 8, 4, 3), 8),
+        ("conv2", ConvShape.square(4, 8, 4, 3), 9),
+        ("conv2b", ConvShape.square(4, 8, 4, 3), 9),  # duplicate geometry
+    ]
+
+
+class TestRequantBudget:
+    def test_grows_with_shift(self):
+        budgets = [requant_error_budget(s) for s in (0, 4, 8, 12)]
+        assert budgets == sorted(budgets)
+
+    def test_value(self):
+        # shift 4: threshold 8, 3-sigma -> variance (8/3)^2.
+        assert requant_error_budget(4) == pytest.approx((8 / 3) ** 2)
+
+    def test_confidence_tightens(self):
+        assert requant_error_budget(8, 6.0) < requant_error_budget(8, 3.0)
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            requant_error_budget(-1)
+
+
+class TestExploreNetwork:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return explore_network(
+            _toy_layers(), n=256, budget_per_layer=24, seed=0
+        )
+
+    def test_plan_covers_all_layers(self, plan):
+        assert len(plan.layers) == 3
+        assert [l.name for l in plan.layers] == ["conv1", "conv2", "conv2b"]
+
+    def test_feasible_layers_meet_budget(self, plan):
+        for layer in plan.layers:
+            if layer.feasible:
+                assert layer.error_variance < layer.error_budget
+                assert layer.power_mw > 0
+
+    def test_total_power(self, plan):
+        total = sum(l.power_mw for l in plan.layers if l.feasible)
+        assert plan.total_power_mw == pytest.approx(total)
+
+    def test_dedupe_reuses_geometry(self, plan):
+        # conv2 and conv2b share geometry and shift: identical picks.
+        a = plan.layers[1]
+        b = plan.layers[2]
+        if a.feasible and b.feasible:
+            assert a.point == b.point
+
+    def test_summary_rows(self, plan):
+        rows = plan.summary_rows()
+        assert len(rows) == 3
+        assert rows[0][0] == "conv1"
+
+    def test_infeasible_budget_marked(self):
+        # A zero-shift layer demands sub-LSB error variance the coarse
+        # search may miss; with shift 0 and 1 eval it must not crash.
+        plan = explore_network(
+            [("hard", ConvShape.square(2, 8, 4, 3), 0)],
+            n=256, budget_per_layer=14, seed=1,
+        )
+        layer = plan.layers[0]
+        if not layer.feasible:
+            assert math.isnan(layer.power_mw)
+            assert not plan.all_feasible
+
+    def test_strided_layer_accepted(self):
+        plan = explore_network(
+            [("down", ConvShape.square(2, 8, 4, 1, stride=2), 6)],
+            n=256, budget_per_layer=16, seed=2,
+        )
+        assert len(plan.layers) == 1
+
+
+class TestUniformFallback:
+    def test_uniform_plan_structure(self):
+        plan = uniform_fallback_plan(_toy_layers(), n=256)
+        assert plan.all_feasible
+        for layer in plan.layers:
+            assert layer.point.twiddle_k == 5
+            assert set(layer.point.stage_widths) == {27}
+
+    def test_dse_beats_or_matches_uniform_power(self):
+        # The searched plan should not spend more power than the fixed
+        # dw=27/k=5 setting while meeting generous budgets.
+        layers = [(n, s, max(sh, 10)) for n, s, sh in _toy_layers()]
+        searched = explore_network(layers, n=256, budget_per_layer=30, seed=3)
+        uniform = uniform_fallback_plan(layers, n=256)
+        if searched.all_feasible:
+            assert searched.total_power_mw <= uniform.total_power_mw * 1.1

@@ -1,0 +1,135 @@
+"""Tests for spatial row banding (channel planes larger than the ring)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    ConvShape,
+    conv2d_direct,
+    conv2d_via_polynomials,
+    iter_row_bands,
+)
+from repro.he import toy_preset
+from repro.protocol import HybridConvProtocol
+
+
+class TestIterRowBands:
+    def test_small_plane_single_band(self):
+        shape = ConvShape.square(1, 4, 1, 3)
+        bands = iter_row_bands(shape, 64)
+        assert bands == [(0, shape)]
+
+    def test_bands_cover_all_output_rows(self):
+        shape = ConvShape.square(1, 20, 1, 3)  # plane 400 > 64
+        bands = iter_row_bands(shape, 64)
+        assert len(bands) > 1
+        covered = set()
+        out_rows = shape.height - shape.kernel_h + 1
+        for start, band in bands:
+            assert band.height * band.width <= 64
+            band_out = band.height - band.kernel_h + 1
+            covered.update(range(start, min(start + band_out, out_rows)))
+        assert covered == set(range(out_rows))
+
+    def test_bands_overlap_by_kernel_minus_one(self):
+        shape = ConvShape.square(1, 20, 1, 3)
+        bands = iter_row_bands(shape, 64)
+        (s0, b0), (s1, _) = bands[0], bands[1]
+        assert s1 == s0 + b0.height - (shape.kernel_h - 1)
+
+    def test_rejects_strided_or_padded(self):
+        with pytest.raises(ValueError):
+            iter_row_bands(ConvShape.square(1, 20, 1, 3, stride=2), 64)
+        with pytest.raises(ValueError):
+            iter_row_bands(ConvShape.square(1, 20, 1, 3, padding=1), 64)
+
+    def test_rejects_impossible_geometry(self):
+        with pytest.raises(ValueError):
+            iter_row_bands(ConvShape.square(1, 128, 1, 3), 64)  # wide rows
+
+
+class TestBandedConvolution:
+    @pytest.mark.parametrize(
+        "size,k,n",
+        [
+            (12, 3, 64),   # plane 144 > 64: several bands
+            (16, 3, 64),
+            (10, 1, 32),   # 1x1 kernel banding
+            (9, 5, 64),    # large kernel relative to band
+        ],
+    )
+    def test_matches_direct(self, size, k, n):
+        rng = np.random.default_rng(size * 10 + k)
+        shape = ConvShape.square(1, size, 2, k)
+        x = rng.integers(-8, 8, size=(1, size, size))
+        w = rng.integers(-8, 8, size=(2, 1, k, k))
+        got = conv2d_via_polynomials(x, w, shape, n)
+        assert np.array_equal(got, conv2d_direct(x, w))
+
+    def test_banded_with_padding_and_stride(self):
+        rng = np.random.default_rng(5)
+        shape = ConvShape.square(1, 14, 2, 3, stride=2, padding=1)
+        x = rng.integers(-8, 8, size=(1, 14, 14))
+        w = rng.integers(-8, 8, size=(2, 1, 3, 3))
+        got = conv2d_via_polynomials(x, w, shape, 64)
+        assert np.array_equal(got, conv2d_direct(x, w, stride=2, padding=1))
+
+    def test_banded_multichannel(self):
+        rng = np.random.default_rng(6)
+        shape = ConvShape.square(3, 10, 2, 3)
+        x = rng.integers(-4, 4, size=(3, 10, 10))
+        w = rng.integers(-4, 4, size=(2, 3, 3, 3))
+        got = conv2d_via_polynomials(x, w, shape, 128)
+        assert np.array_equal(got, conv2d_direct(x, w))
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_property_banded_random(self, data):
+        size = data.draw(st.integers(9, 14))
+        k = data.draw(st.integers(1, 3))
+        seed = data.draw(st.integers(0, 1 << 16))
+        rng = np.random.default_rng(seed)
+        shape = ConvShape.square(1, size, 1, k)
+        x = rng.integers(-6, 6, size=(1, size, size))
+        w = rng.integers(-6, 6, size=(1, 1, k, k))
+        got = conv2d_via_polynomials(x, w, shape, 64)
+        assert np.array_equal(got, conv2d_direct(x, w))
+
+
+class TestBandedProtocol:
+    def test_protocol_runs_banded_layer(self):
+        # One 12x12 plane needs 3 bands in a 64-degree ring; the protocol
+        # must still reconstruct the exact convolution.
+        params = toy_preset(n=64, share_bits=16)
+        rng = np.random.default_rng(7)
+        shape = ConvShape.square(1, 12, 2, 3)
+        x = rng.integers(-8, 8, size=(1, 12, 12))
+        w = rng.integers(-8, 8, size=(2, 1, 3, 3))
+        result = HybridConvProtocol(params, shape).run(x, w, rng)
+        assert result.exact
+        # Banding multiplies the input ciphertexts.
+        assert result.stats.ciphertexts_sent >= 3
+
+
+class TestConv1ScaleIntegration:
+    def test_strided_7x7_banded_protocol(self):
+        # A conv1-style layer (7x7 kernel, stride 2, padding 3) whose
+        # padded plane exceeds the ring: stride phases + row bands + the
+        # full BFV protocol, end to end.
+        params = toy_preset(n=64, share_bits=18)
+        rng = np.random.default_rng(11)
+        shape = ConvShape.square(1, 14, 1, 7, stride=2, padding=3)
+        x = rng.integers(-4, 4, size=(1, 14, 14))
+        w = rng.integers(-4, 4, size=(1, 1, 7, 7))
+        result = HybridConvProtocol(params, shape).run(x, w, rng)
+        assert result.exact
+
+    def test_strided_7x7_banded_plain(self):
+        rng = np.random.default_rng(12)
+        shape = ConvShape.square(2, 20, 2, 7, stride=2, padding=3)
+        x = rng.integers(-4, 4, size=(2, 20, 20))
+        w = rng.integers(-4, 4, size=(2, 2, 7, 7))
+        got = conv2d_via_polynomials(x, w, shape, 128)
+        assert np.array_equal(got, conv2d_direct(x, w, stride=2, padding=3))

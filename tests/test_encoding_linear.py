@@ -1,0 +1,79 @@
+"""Tests for the FC/matvec coefficient encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import LinearEncoder, LinearShape, matvec_via_polynomials
+
+
+class TestLinearShape:
+    def test_macs(self):
+        assert LinearShape(10, 4).macs == 40
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            LinearShape(0, 4)
+
+
+class TestLinearEncoder:
+    def test_packing_counts_small(self):
+        enc = LinearEncoder(LinearShape(8, 6), 32)
+        assert enc.chunk == 8
+        assert enc.num_chunks == 1
+        assert enc.rows_per_poly == 4
+        assert enc.num_row_groups == 2
+
+    def test_large_input_chunked(self):
+        enc = LinearEncoder(LinearShape(100, 3), 32)
+        assert enc.chunk == 32
+        assert enc.num_chunks == 4  # ceil(100/32)
+        assert enc.rows_per_poly == 1
+
+    def test_output_indices(self):
+        enc = LinearEncoder(LinearShape(8, 6), 32)
+        assert enc.output_indices(0, 0).tolist() == [7, 15, 23, 31]
+        assert enc.output_indices(0, 1).tolist() == [7, 15]
+
+    @pytest.mark.parametrize(
+        "ni,no,n",
+        [
+            (8, 4, 32),    # all rows in one poly
+            (8, 12, 32),   # multiple row groups
+            (40, 3, 16),   # chunked input
+            (16, 16, 16),  # one row per poly exactly
+            (7, 5, 32),    # non-power-of-two dims
+        ],
+    )
+    def test_matches_direct_matvec(self, ni, no, n):
+        rng = np.random.default_rng(ni * 100 + no)
+        w = rng.integers(-8, 8, size=(no, ni))
+        x = rng.integers(-16, 16, size=ni)
+        got = matvec_via_polynomials(x, w, n)
+        assert np.array_equal(got, w @ x)
+
+    def test_validates_input_shape(self):
+        enc = LinearEncoder(LinearShape(8, 4), 32)
+        with pytest.raises(ValueError):
+            enc.encode_input(np.zeros(9))
+        with pytest.raises(ValueError):
+            enc.encode_weights(np.zeros((4, 9)))
+
+    def test_transforms_per_matvec(self):
+        enc = LinearEncoder(LinearShape(40, 3), 16)  # 3 chunks of 16
+        counts = enc.transforms_per_matvec()
+        assert counts["input_forward"] == 3
+        assert counts["weight_forward"] == counts["inverse"] == 3 * 3
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_matvec(self, data):
+        ni = data.draw(st.integers(1, 20))
+        no = data.draw(st.integers(1, 10))
+        seed = data.draw(st.integers(0, 1 << 16))
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-5, 5, size=(no, ni))
+        x = rng.integers(-10, 10, size=ni)
+        got = matvec_via_polynomials(x, w, 32)
+        assert np.array_equal(got, w @ x)

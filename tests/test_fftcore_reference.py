@@ -1,0 +1,197 @@
+"""Tests for the reference DIT FFT and negacyclic FFT pipelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fftcore import (
+    NegacyclicFft,
+    fft_dit,
+    fft_multiplication_count,
+    ifft_dit,
+    negacyclic_multiply_folded,
+    negacyclic_multiply_twisted,
+    round_to_integers,
+    stage_twiddles,
+    twiddle_exponent,
+    twisted_forward,
+    twisted_inverse,
+)
+from repro.ntt import negacyclic_convolution_naive
+
+
+class TestFftDit:
+    @pytest.mark.parametrize("n", [2, 4, 16, 64, 512])
+    def test_matches_numpy_fft(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(fft_dit(x), np.fft.fft(x), atol=1e-9)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        np.testing.assert_allclose(ifft_dit(fft_dit(x)), x, atol=1e-10)
+
+    def test_sign_plus_is_conjugate_transform(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        np.testing.assert_allclose(
+            fft_dit(x, sign=+1), np.conj(np.fft.fft(np.conj(x))), atol=1e-9
+        )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft_dit(np.zeros(12))
+
+    def test_multiplication_count(self):
+        assert fft_multiplication_count(16) == 32
+        assert fft_multiplication_count(2048) == 1024 * 11
+
+    def test_stage_twiddles_first_stage_trivial(self):
+        np.testing.assert_allclose(stage_twiddles(16, 1), [1.0])
+
+    def test_stage_twiddles_last_stage(self):
+        w = stage_twiddles(8, 3)
+        expected = np.exp(-2j * np.pi * np.arange(4) / 8)
+        np.testing.assert_allclose(w, expected)
+
+    def test_twiddle_exponent_consistency(self):
+        n = 64
+        for stage in range(1, 7):
+            m = 1 << stage
+            for j in range(m // 2):
+                e = twiddle_exponent(n, stage, j)
+                np.testing.assert_allclose(
+                    np.exp(-2j * np.pi * e / n),
+                    stage_twiddles(n, stage)[j],
+                    atol=1e-12,
+                )
+
+    def test_stage_out_of_range(self):
+        with pytest.raises(ValueError):
+            stage_twiddles(8, 4)
+
+
+class TestTwistedNegacyclic:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_multiply_matches_naive(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.integers(-50, 50, size=n)
+        b = rng.integers(-50, 50, size=n)
+        got = negacyclic_multiply_twisted(a, b)
+        expected = negacyclic_convolution_naive(a, b)
+        np.testing.assert_allclose(
+            got, expected.astype(np.float64), atol=1e-6
+        )
+
+    def test_forward_inverse_roundtrip(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal(32)
+        np.testing.assert_allclose(
+            twisted_inverse(twisted_forward(a)), a, atol=1e-10
+        )
+
+    def test_forward_evaluates_at_odd_roots(self):
+        # Spectrum entry k must equal p(zeta^(2k+1)), zeta = exp(-i*pi/n).
+        n = 8
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal(n)
+        spec = twisted_forward(a)
+        zeta = np.exp(-1j * np.pi / n)
+        for k in range(n):
+            root = zeta ** (2 * k + 1)
+            expected = np.polyval(a[::-1], root)
+            np.testing.assert_allclose(spec[k], expected, atol=1e-9)
+
+
+class TestFoldedNegacyclic:
+    @pytest.mark.parametrize("n", [4, 16, 64, 256])
+    def test_multiply_matches_naive(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.integers(-100, 100, size=n)
+        b = rng.integers(-15, 15, size=n)
+        got = negacyclic_multiply_folded(a, b)
+        expected = negacyclic_convolution_naive(a, b)
+        np.testing.assert_allclose(got, expected.astype(np.float64), atol=1e-5)
+
+    def test_forward_inverse_roundtrip(self):
+        rng = np.random.default_rng(4)
+        nfft = NegacyclicFft(64)
+        a = rng.standard_normal(64)
+        np.testing.assert_allclose(nfft.inverse(nfft.forward(a)), a, atol=1e-10)
+
+    def test_forward_evaluates_at_4kplus1_roots(self):
+        # Spectrum entry k must equal p(zeta^(4k+1)), zeta = exp(+i*pi/n).
+        n = 8
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal(n)
+        spec = NegacyclicFft(n).forward(a)
+        zeta = np.exp(1j * np.pi / n)
+        for k in range(n // 2):
+            root = zeta ** (4 * k + 1)
+            expected = np.polyval(a[::-1], root)
+            np.testing.assert_allclose(spec[k], expected, atol=1e-9)
+
+    def test_spectrum_is_half_length(self):
+        nfft = NegacyclicFft(128)
+        assert nfft.forward(np.zeros(128)).shape == (64,)
+
+    def test_agrees_with_twisted_pipeline(self):
+        rng = np.random.default_rng(6)
+        a = rng.integers(-30, 30, size=32)
+        b = rng.integers(-30, 30, size=32)
+        np.testing.assert_allclose(
+            negacyclic_multiply_folded(a, b),
+            negacyclic_multiply_twisted(a, b),
+            atol=1e-6,
+        )
+
+    def test_negacyclic_wrap_sign(self):
+        n = 16
+        a = np.zeros(n)
+        b = np.zeros(n)
+        a[n - 1] = 1.0
+        b[1] = 1.0
+        out = negacyclic_multiply_folded(a, b)
+        expected = np.zeros(n)
+        expected[0] = -1.0
+        np.testing.assert_allclose(out, expected, atol=1e-9)
+
+    def test_rejects_small_or_odd_length(self):
+        with pytest.raises(ValueError):
+            NegacyclicFft(2)
+        with pytest.raises(ValueError):
+            NegacyclicFft(24)
+
+    def test_shape_validation(self):
+        nfft = NegacyclicFft(16)
+        with pytest.raises(ValueError):
+            nfft.fold(np.zeros(8))
+        with pytest.raises(ValueError):
+            nfft.inverse(np.zeros(16))
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_naive_n16(self, data):
+        ints = st.integers(-20, 20)
+        a = np.array(data.draw(st.lists(ints, min_size=16, max_size=16)))
+        b = np.array(data.draw(st.lists(ints, min_size=16, max_size=16)))
+        got = round_to_integers(negacyclic_multiply_folded(a, b))
+        expected = negacyclic_convolution_naive(a, b)
+        assert [int(v) for v in got] == [int(v) for v in expected]
+
+
+class TestRoundToIntegers:
+    def test_plain_rounding(self):
+        out = round_to_integers(np.array([1.2, -0.7, 3.5000001]))
+        assert [int(v) for v in out] == [1, -1, 4]
+
+    def test_modular_reduction(self):
+        out = round_to_integers(np.array([5.1, -3.2]), modulus=7)
+        assert out.dtype == np.uint64
+        assert out.tolist() == [5, 4]
+
+    def test_huge_modulus_object_dtype(self):
+        out = round_to_integers(np.array([-1.0]), modulus=1 << 70)
+        assert int(out[0]) == (1 << 70) - 1

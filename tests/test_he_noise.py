@@ -1,0 +1,91 @@
+"""Tests for analytic noise estimates vs measured BFV noise."""
+
+import numpy as np
+import pytest
+
+from repro.he import (
+    BfvContext,
+    fft_error_tolerance,
+    fresh_noise_bound,
+    plain_mult_noise_factor,
+    predicted_budget_after_hconv,
+    accumulation_noise_factor,
+    toy_preset,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BfvContext(toy_preset())
+
+
+class TestFreshNoiseBound:
+    def test_bound_exceeds_measured(self, ctx):
+        rng = np.random.default_rng(0)
+        sk, pk = ctx.keygen(rng)
+        bound = fresh_noise_bound(ctx.params)
+        for seed in range(5):
+            m = np.random.default_rng(seed).integers(
+                0, ctx.params.t, size=ctx.params.n
+            )
+            ct = ctx.encrypt(pk, m, rng)
+            assert ctx.noise_infinity(sk, ct) <= bound
+
+    def test_bound_is_not_vacuous(self, ctx):
+        # The bound must be far below the decryption ceiling.
+        assert fresh_noise_bound(ctx.params) < ctx.params.noise_ceiling / 4
+
+
+class TestGrowthFactors:
+    def test_plain_mult_factor_is_l1_norm(self):
+        assert plain_mult_noise_factor([1, -2, 3, 0]) == 6
+
+    def test_accumulation_factor(self):
+        assert accumulation_noise_factor(4) == 4
+        with pytest.raises(ValueError):
+            accumulation_noise_factor(0)
+
+    def test_predicted_budget_positive_for_small_kernels(self, ctx):
+        w = np.zeros(ctx.params.n, dtype=np.int64)
+        w[:9] = 7  # 3x3 kernel of 4-bit weights
+        assert predicted_budget_after_hconv(ctx.params, w) > 0
+
+    def test_predicted_budget_sane_vs_measured(self, ctx):
+        rng = np.random.default_rng(1)
+        sk, pk = ctx.keygen(rng)
+        w = np.zeros(ctx.params.n, dtype=np.int64)
+        w[:9] = rng.integers(1, 8, size=9)
+        m = rng.integers(0, ctx.params.t, size=ctx.params.n)
+        ct = ctx.multiply_plain(ctx.encrypt(pk, m, rng), w)
+        measured = ctx.noise_budget(sk, ct)
+        predicted = predicted_budget_after_hconv(ctx.params, w)
+        # Prediction is a worst-case bound: it must not exceed measured
+        # budget by more than a small slack, nor be wildly pessimistic.
+        assert predicted <= measured + 1.0
+        assert predicted >= measured - 16.0
+
+
+class TestFftErrorTolerance:
+    def test_tolerance_below_ceiling(self, ctx):
+        tol = fft_error_tolerance(ctx.params)
+        assert 0 < tol < ctx.params.noise_ceiling
+
+    def test_margin_shrinks_tolerance(self, ctx):
+        assert fft_error_tolerance(ctx.params, margin_bits=4.0) < (
+            fft_error_tolerance(ctx.params, margin_bits=1.0)
+        )
+
+    def test_tolerated_error_injection_decrypts_correctly(self, ctx):
+        # Inject coefficient errors up to the advertised tolerance into a
+        # fresh ciphertext and verify decryption is unchanged (kernel-level
+        # robustness, Section III-A).
+        from repro.he.poly import RingPoly
+
+        rng = np.random.default_rng(2)
+        sk, pk = ctx.keygen(rng)
+        m = rng.integers(0, ctx.params.t, size=ctx.params.n)
+        ct = ctx.encrypt(pk, m, rng)
+        tol = int(fft_error_tolerance(ctx.params, margin_bits=2.0))
+        errors = rng.integers(-tol, tol + 1, size=ctx.params.n)
+        ct.c0 = ct.c0 + RingPoly.from_signed(ctx.basis, errors)
+        assert np.array_equal(ctx.decrypt(sk, ct), m % ctx.params.t)

@@ -1,0 +1,219 @@
+"""Tests for parameter selection and ciphertext serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.he import BfvContext, toy_preset
+from repro.he.param_search import (
+    ParameterError,
+    ParameterReport,
+    max_log_q,
+    noise_bits_for_hconv,
+    parameters_for_network,
+    select_parameters,
+)
+from repro.protocol.wire import (
+    ciphertext_bytes,
+    deserialize_ciphertext,
+    deserialize_poly,
+    roundtrip_check,
+    serialize_ciphertext,
+    serialize_poly,
+)
+
+
+class TestMaxLogQ:
+    def test_standard_values(self):
+        assert max_log_q(4096, 128) == 109
+        assert max_log_q(8192, 192) == 152
+
+    def test_unknown_entry(self):
+        with pytest.raises(ParameterError):
+            max_log_q(4096, 100)
+
+
+class TestSelectParameters:
+    def test_w4a4_resnet_layer(self):
+        # A 3x3 conv with 64 channels: 576 accumulation terms.
+        report = select_parameters(
+            n=4096, in_bits=4, w_bits=4, accumulation_terms=576,
+            kernel_taps=9,
+        )
+        assert report.sum_product_bits == 17
+        assert report.params.t == 1 << 17
+        assert report.params.q.bit_length() <= report.max_logq
+        assert report.headroom_bits > 0
+
+    def test_selected_parameters_actually_work(self):
+        # End-to-end: encrypt, multiply by a worst-case kernel, decrypt.
+        from repro.ntt import negacyclic_convolution_naive
+
+        # n=2048 is the smallest dimension with a standard security entry.
+        report = select_parameters(
+            n=2048, in_bits=4, w_bits=4, accumulation_terms=32,
+            kernel_taps=9,
+        )
+        ctx = BfvContext(report.params)
+        rng = np.random.default_rng(0)
+        sk, pk = ctx.keygen(rng)
+        t = report.params.t
+        m = rng.integers(0, 1 << 4, size=2048)
+        w = np.zeros(2048, dtype=np.int64)
+        w[:9] = rng.integers(-8, 8, size=9)
+        ct = ctx.multiply_plain(ctx.encrypt(pk, m, rng), w)
+        assert ctx.noise_budget(sk, ct) > 0
+        expected = negacyclic_convolution_naive(m, w, modulus=t)
+        assert np.array_equal(
+            ctx.decrypt(sk, ct).astype(np.uint64), expected
+        )
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ParameterError):
+            select_parameters(
+                n=1024, in_bits=16, w_bits=16,
+                accumulation_terms=1 << 20, kernel_taps=1 << 12,
+            )
+
+    def test_noise_bits_monotone(self):
+        a = noise_bits_for_hconv(4096, 4, 9)
+        b = noise_bits_for_hconv(4096, 8, 9)
+        c = noise_bits_for_hconv(4096, 8, 900)
+        assert a < b < c
+
+    def test_network_level_takes_worst_case(self):
+        report = parameters_for_network(
+            [(64, 9), (576, 9), (128, 4)], n=4096
+        )
+        single = select_parameters(
+            n=4096, in_bits=4, w_bits=4, accumulation_terms=576,
+            kernel_taps=9,
+        )
+        assert report.params.t == single.params.t
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ParameterError):
+            parameters_for_network([])
+
+    def test_report_type(self):
+        report = select_parameters(
+            n=4096, in_bits=4, w_bits=4, accumulation_terms=100
+        )
+        assert isinstance(report, ParameterReport)
+
+
+@pytest.fixture(scope="module")
+def wire_setup():
+    params = toy_preset(n=64, share_bits=12)
+    ctx = BfvContext(params)
+    rng = np.random.default_rng(1)
+    sk, pk = ctx.keygen(rng)
+    m = rng.integers(0, params.t, size=64)
+    ct = ctx.encrypt(pk, m, rng)
+    return params, ctx, sk, m, ct
+
+
+class TestWireFormat:
+    def test_poly_roundtrip(self, wire_setup):
+        params, _, _, _, ct = wire_setup
+        blob = serialize_poly(ct.c0)
+        poly, used = deserialize_poly(blob, params)
+        assert used == len(blob)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(poly.residues, ct.c0.residues)
+        )
+
+    def test_ciphertext_roundtrip_decrypts(self, wire_setup):
+        params, ctx, sk, m, ct = wire_setup
+        restored = deserialize_ciphertext(serialize_ciphertext(ct), params)
+        assert np.array_equal(ctx.decrypt(sk, restored), m)
+        assert roundtrip_check(ct, params)
+
+    def test_wire_size_matches_prediction(self, wire_setup):
+        params, _, _, _, ct = wire_setup
+        assert len(serialize_ciphertext(ct)) == ciphertext_bytes(params)
+
+    def test_bad_magic_rejected(self, wire_setup):
+        params, _, _, _, ct = wire_setup
+        blob = bytearray(serialize_ciphertext(ct))
+        blob[0] = 0
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(bytes(blob), params)
+
+    def test_truncated_rejected(self, wire_setup):
+        params, _, _, _, ct = wire_setup
+        blob = serialize_ciphertext(ct)
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(blob[:-10], params)
+
+    def test_out_of_range_residue_rejected(self, wire_setup):
+        params, _, _, _, ct = wire_setup
+        blob = bytearray(serialize_poly(ct.c0))
+        # Overwrite the first residue word with an oversized value.
+        import struct
+
+        header = 12 + 8  # poly header + prime word
+        blob[header : header + 8] = struct.pack("<Q", (1 << 62))
+        with pytest.raises(ValueError):
+            deserialize_poly(bytes(blob), params)
+
+    def test_parameter_mismatch_rejected(self, wire_setup):
+        params, _, _, _, ct = wire_setup
+        other = toy_preset(n=128, share_bits=12)
+        with pytest.raises(ValueError):
+            deserialize_poly(serialize_poly(ct.c0), other)
+
+    def test_protocol_reports_bytes(self):
+        from repro.encoding import ConvShape
+        from repro.protocol import HybridConvProtocol
+
+        params = toy_preset(n=64, share_bits=16)
+        rng = np.random.default_rng(2)
+        shape = ConvShape.square(1, 4, 2, 3)
+        x = rng.integers(-8, 8, size=(1, 4, 4))
+        w = rng.integers(-8, 8, size=(2, 1, 3, 3))
+        result = HybridConvProtocol(params, shape).run(x, w, rng)
+        expected_ct = ciphertext_bytes(params)
+        assert result.stats.bytes_sent == result.stats.ciphertexts_sent * expected_ct
+        assert (
+            result.stats.bytes_received
+            == result.stats.ciphertexts_returned * expected_ct
+        )
+        assert result.stats.total_bytes > 0
+
+
+class TestWireFuzzing:
+    @given(data=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_random_bytes_raise_value_error_only(self, data):
+        params = toy_preset(n=64, share_bits=12)
+        try:
+            deserialize_poly(data, params)
+        except ValueError:
+            pass  # the only acceptable failure mode
+
+    @given(seed=st.integers(0, 2**16), cut=st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_truncations_of_valid_blobs_rejected(self, seed, cut):
+        params = toy_preset(n=64, share_bits=12)
+        ctx = BfvContext(params)
+        rng = np.random.default_rng(seed)
+        sk, pk = ctx.keygen(rng)
+        ct = ctx.encrypt(pk, rng.integers(0, params.t, size=64), rng)
+        blob = serialize_ciphertext(ct)
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(blob[: len(blob) - cut], params)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_property_roundtrip_random_ciphertexts(self, seed):
+        params = toy_preset(n=64, share_bits=12)
+        ctx = BfvContext(params)
+        rng = np.random.default_rng(seed)
+        sk, pk = ctx.keygen(rng)
+        m = rng.integers(0, params.t, size=64)
+        ct = ctx.encrypt(pk, m, rng)
+        restored = deserialize_ciphertext(serialize_ciphertext(ct), params)
+        assert np.array_equal(ctx.decrypt(sk, restored), m)

@@ -1,0 +1,85 @@
+"""Tests for the batch-amortization (recompute vs pre-store) analysis."""
+
+import pytest
+
+from repro.encoding import ConvShape
+from repro.hw import (
+    batch_tradeoff,
+    conv_layer_workload,
+    flash_vs_cached_crossover,
+    ntt_weight_memory_gb,
+    aggregate,
+)
+
+
+@pytest.fixture(scope="module")
+def small_workloads():
+    return [
+        conv_layer_workload(ConvShape.square(8, 16, 16, 3, padding=1), 1024),
+        conv_layer_workload(ConvShape.square(16, 16, 16, 1), 1024),
+    ]
+
+
+class TestBatchTradeoff:
+    def test_point_count(self, small_workloads):
+        points = batch_tradeoff(small_workloads, n=1024, batch_sizes=(1, 4))
+        assert len(points) == 6
+        assert {p.strategy for p in points} == {
+            "ntt_recompute", "ntt_cached", "flash"
+        }
+
+    def test_cached_amortizes_with_batch(self, small_workloads):
+        points = batch_tradeoff(
+            small_workloads, n=1024, batch_sizes=(1, 16, 256)
+        )
+        cached = [
+            p.energy_mj_per_image for p in points if p.strategy == "ntt_cached"
+        ]
+        assert cached == sorted(cached, reverse=True)
+
+    def test_flash_and_recompute_batch_flat(self, small_workloads):
+        points = batch_tradeoff(small_workloads, n=1024, batch_sizes=(1, 64))
+        for strategy in ("flash", "ntt_recompute"):
+            vals = {
+                p.energy_mj_per_image
+                for p in points
+                if p.strategy == strategy
+            }
+            assert len(vals) == 1
+
+    def test_flash_beats_recompute_at_batch_one(self, small_workloads):
+        points = {
+            (p.strategy, p.batch_size): p
+            for p in batch_tradeoff(small_workloads, n=1024, batch_sizes=(1,))
+        }
+        assert (
+            points[("flash", 1)].energy_mj_per_image
+            < points[("ntt_recompute", 1)].energy_mj_per_image
+        )
+
+    def test_only_cached_pays_memory(self, small_workloads):
+        for p in batch_tradeoff(small_workloads, n=1024, batch_sizes=(4,)):
+            if p.strategy == "ntt_cached":
+                assert p.weight_memory_gb > 0
+            else:
+                assert p.weight_memory_gb == 0.0
+
+    def test_rejects_bad_batch(self, small_workloads):
+        with pytest.raises(ValueError):
+            batch_tradeoff(small_workloads, n=1024, batch_sizes=(0,))
+
+
+class TestCrossover:
+    def test_resnet50_headline(self):
+        from repro.hw import network_workload
+
+        x = flash_vs_cached_crossover(network_workload("resnet50", 4096))
+        # FLASH lands near the fully-amortized cached-NTT energy floor
+        # without the ~22 GB weight cache (the Figure 1 memory wall).
+        assert x["flash_over_floor"] < 2.0
+        assert 15 < x["cache_memory_gb"] < 30
+
+    def test_memory_model_consistent(self, small_workloads):
+        total = aggregate(list(small_workloads))
+        gb = ntt_weight_memory_gb(total, 1024)
+        assert gb == pytest.approx(total.weight_transforms * 1024 * 8 / 1e9)

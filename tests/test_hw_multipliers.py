@@ -1,0 +1,201 @@
+"""Tests for the Table II multiplier cost models and butterfly LUT."""
+
+import pytest
+
+from repro.fftcore import ApproxFftConfig
+from repro.hw import (
+    ButterflyLut,
+    approx_butterfly,
+    approx_shift_add_multiplier,
+    complex_fp_multiplier,
+    complex_fxp_multiplier,
+    fp_butterfly,
+    fxp_butterfly,
+    modular_multiplier,
+    table2_rows,
+)
+
+
+class TestMultiplierAnchors:
+    def test_table2_anchor_points_exact(self):
+        # At the anchor configurations the models must reproduce the
+        # paper's synthesis numbers exactly.
+        for label, _, _, cost, paper_area, paper_power in table2_rows():
+            assert cost.area_um2 == pytest.approx(paper_area, rel=1e-9), label
+            assert cost.power_mw == pytest.approx(paper_power, rel=1e-9), label
+
+    def test_paper_claim_fp_power_about_twice_modular(self):
+        # Section III-A: "power of complex FP multiplications is
+        # approximately twice that of modular multiplication".
+        fp = complex_fp_multiplier(39)
+        mod = modular_multiplier(39, "cham")
+        assert 1.5 < fp.power_mw / mod.power_mw < 3.0
+
+    def test_approx_cheaper_than_modular(self):
+        # Table II's punchline: the k=5 shift-add multiplier beats the
+        # optimized modular multiplier in both area and power.
+        approx = approx_shift_add_multiplier(39, 5)
+        mod = modular_multiplier(39, "cham")
+        assert approx.area_um2 < mod.area_um2
+        assert approx.power_mw < mod.power_mw
+
+    def test_width_scaling_monotone(self):
+        for factory in (
+            lambda b: modular_multiplier(b, "cham"),
+            complex_fp_multiplier,
+            complex_fxp_multiplier,
+            lambda b: approx_shift_add_multiplier(b, 5),
+        ):
+            costs = [factory(b).power_mw for b in (16, 24, 32, 40)]
+            assert costs == sorted(costs)
+
+    def test_k_scaling_linear(self):
+        a5 = approx_shift_add_multiplier(39, 5)
+        a10 = approx_shift_add_multiplier(39, 10)
+        assert a10.power_mw == pytest.approx(2 * a5.power_mw)
+
+    def test_fxp_cheaper_than_fp(self):
+        assert complex_fxp_multiplier(39).area_um2 < complex_fp_multiplier(39).area_um2
+
+    def test_f1_style_uses_tech_scaling(self):
+        native = modular_multiplier(32, "f1")
+        # Scaled from 14nm to 28nm: area x4, power x2.
+        assert native.area_um2 == pytest.approx(1817 * 4)
+        assert native.power_mw == pytest.approx(4.10 * 2)
+
+    def test_energy_equals_power_at_1ghz(self):
+        m = complex_fp_multiplier(39)
+        assert m.energy_pj_per_op == m.power_mw
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            modular_multiplier(32, "unknown")
+        with pytest.raises(ValueError):
+            approx_shift_add_multiplier(39, 0)
+        with pytest.raises(ValueError):
+            complex_fp_multiplier(1)
+
+
+class TestButterflyCosts:
+    def test_bu_more_expensive_than_bare_multiplier(self):
+        assert fp_butterfly(39).area_um2 > complex_fp_multiplier(39).area_um2
+        assert approx_butterfly(27, 5).area_um2 > (
+            approx_shift_add_multiplier(27, 5).area_um2
+        )
+
+    def test_approx_bu_much_cheaper_than_fp_bu(self):
+        # The core FLASH trade: approximate BUs at ~an order of magnitude
+        # lower power than FP BUs.
+        ratio = fp_butterfly(39).power_mw / approx_butterfly(27, 5).power_mw
+        assert ratio > 5
+
+    def test_ordering_fp_fxp_approx(self):
+        fp = fp_butterfly(39).power_mw
+        fxp = fxp_butterfly(27).power_mw
+        approx = approx_butterfly(27, 5).power_mw
+        assert fp > fxp > approx
+
+
+class TestButterflyLut:
+    @pytest.fixture(scope="class")
+    def lut(self):
+        return ButterflyLut(bit_range=(8, 40), k_range=(0, 10))
+
+    def test_grid_size(self, lut):
+        # 33 widths x (1 fxp + 10 k values).
+        assert len(lut) == 33 * 11
+
+    def test_lookup_matches_direct_model(self, lut):
+        assert lut.cost(27, 5).power_mw == approx_butterfly(27, 5).power_mw
+        assert lut.cost(30, 0).power_mw == fxp_butterfly(30).power_mw
+
+    def test_clamping_out_of_range(self, lut):
+        assert lut.cost(100, 5).power_mw == lut.cost(40, 5).power_mw
+        assert lut.cost(4, 0).power_mw == lut.cost(8, 0).power_mw
+
+    def test_fft_power_averages_stages(self, lut):
+        uniform = ApproxFftConfig(n=16, stage_widths=20, twiddle_k=5)
+        mixed = ApproxFftConfig(n=16, stage_widths=[10, 15, 25, 30], twiddle_k=5)
+        assert lut.fft_power_mw(uniform) == pytest.approx(
+            4 * lut.cost(20, 5).power_mw
+        )
+        assert lut.fft_power_mw(mixed) < lut.fft_power_mw(
+            ApproxFftConfig(n=16, stage_widths=30, twiddle_k=5)
+        )
+
+    def test_fft_energy_scales_with_mult_count(self, lut):
+        cfg = ApproxFftConfig(n=64, stage_widths=27, twiddle_k=5)
+        dense = lut.fft_energy_pj(cfg)
+        sparse = lut.fft_energy_pj(cfg, mult_count=24)
+        assert dense == pytest.approx(lut.fft_energy_pj(cfg, mult_count=192))
+        assert sparse == pytest.approx(dense * 24 / 192)
+
+    def test_area_sized_by_widest_stage(self, lut):
+        cfg = ApproxFftConfig(n=16, stage_widths=[10, 12, 14, 36], twiddle_k=5)
+        assert lut.fft_area_um2(cfg) == pytest.approx(
+            4 * lut.cost(36, 5).area_um2
+        )
+
+
+class TestLutPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        lut = ButterflyLut(bit_range=(8, 16), k_range=(0, 4))
+        path = str(tmp_path / "lut.json")
+        lut.save(path)
+        restored = ButterflyLut.load(path)
+        assert len(restored) == len(lut)
+        for bits in (8, 12, 16):
+            for k in (0, 2, 4):
+                assert restored.cost(bits, k).power_mw == (
+                    lut.cost(bits, k).power_mw
+                )
+                assert restored.cost(bits, k).area_um2 == (
+                    lut.cost(bits, k).area_um2
+                )
+
+    def test_loaded_lut_serves_fft_costs(self, tmp_path):
+        lut = ButterflyLut(bit_range=(8, 30), k_range=(0, 8))
+        path = str(tmp_path / "lut.json")
+        lut.save(path)
+        restored = ButterflyLut.load(path)
+        cfg = ApproxFftConfig(n=16, stage_widths=20, twiddle_k=5)
+        assert restored.fft_power_mw(cfg) == lut.fft_power_mw(cfg)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text('{"bit_range": [8, 8], "k_range": [0, 0], "entries": []}')
+        with pytest.raises(ValueError):
+            ButterflyLut.load(str(path))
+
+
+class TestKaratsubaMultiplier:
+    def test_saves_area_at_wide_words(self):
+        from repro.hw import complex_karatsuba_multiplier
+
+        for bits in (27, 39):
+            kara = complex_karatsuba_multiplier(bits, fp=True)
+            full = complex_fp_multiplier(bits)
+            assert kara.area_um2 < full.area_um2
+
+    def test_fxp_variant_is_roughly_a_wash(self):
+        # For the cheaper FXP multipliers the three extra adders eat most
+        # of the saved 4th multiplier -- the model shows Karatsuba only
+        # clearly pays on the FP path.
+        from repro.hw import complex_karatsuba_multiplier
+
+        kara = complex_karatsuba_multiplier(39, fp=False)
+        full = complex_fxp_multiplier(39)
+        assert 0.8 < kara.power_mw / full.power_mw < 1.2
+
+    def test_adder_overhead_dominates_at_narrow_words(self):
+        # Karatsuba's three extra adders eat the savings for small words:
+        # the ratio to the schoolbook multiplier worsens as words shrink.
+        from repro.hw import complex_karatsuba_multiplier
+
+        def ratio(bits):
+            return (
+                complex_karatsuba_multiplier(bits, fp=False).area_um2
+                / complex_fxp_multiplier(bits).area_um2
+            )
+
+        assert ratio(8) > ratio(39)

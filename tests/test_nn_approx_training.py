@@ -1,0 +1,130 @@
+"""Tests for approximation-aware training (Section IV-C1's enabler)."""
+
+import numpy as np
+import pytest
+
+from repro.encoding import Conv2dEncoder, ConvShape, conv2d_direct
+from repro.fftcore import ApproxFftConfig
+from repro.nn import (
+    QuantizedCnn,
+    SharedPolyMulSimulator,
+    evaluate_private_inference,
+    make_mini_cnn,
+    make_synthetic_dataset,
+    train,
+    train_test_split,
+)
+from repro.nn.approx_training import (
+    adapt_to_config,
+    effective_kernel,
+    kernel_perturbation_rel,
+    train_approx_aware,
+)
+
+
+class TestEffectiveKernel:
+    def test_exact_config_is_identity(self):
+        shape = ConvShape.square(2, 6, 3, 3)
+        rng = np.random.default_rng(0)
+        w = rng.integers(-8, 8, size=(3, 2, 3, 3))
+        cfg = ApproxFftConfig(n=64, stage_widths=45)
+        w_eff = effective_kernel(w, shape, 128, cfg)
+        np.testing.assert_allclose(w_eff, w, atol=1e-6)
+
+    def test_effective_kernel_predicts_approx_conv(self):
+        # conv(x, w_eff) computed exactly ~= approx pipeline's conv(x, w).
+        from repro.core import hconv_flash
+
+        shape = ConvShape.square(1, 6, 2, 3)
+        rng = np.random.default_rng(1)
+        w = rng.integers(-8, 8, size=(2, 1, 3, 3))
+        x = rng.integers(-8, 8, size=(1, 6, 6))
+        cfg = ApproxFftConfig(n=32, stage_widths=12, twiddle_k=3)
+        w_eff = effective_kernel(w, shape, 64, cfg)
+        predicted = conv2d_direct(
+            (x * 1000), np.rint(w_eff * 1000).astype(np.int64)
+        ) / 1e6
+        actual = hconv_flash(x, w, shape, 64, cfg).astype(np.float64)
+        # w_eff captures the bulk of the perturbation (activation-path
+        # float error and rounding account for the residual).
+        scale = max(1.0, np.abs(actual).max())
+        assert np.abs(predicted - actual).max() / scale < 0.05
+
+    def test_perturbation_grows_with_coarseness(self):
+        shape = ConvShape.square(2, 8, 4, 3)
+        rels = [
+            kernel_perturbation_rel(
+                shape, 256, ApproxFftConfig(n=128, stage_widths=dw, twiddle_k=k)
+            )
+            for dw, k in [(30, 18), (27, 5), (10, 2)]
+        ]
+        assert rels == sorted(rels)
+        assert rels[0] < 1e-3
+        assert rels[2] > 0.02
+
+
+class TestApproxAwareTraining:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ds = make_synthetic_dataset(1200, size=12, channels=1, seed=3)
+        tr, te = train_test_split(ds)
+        return tr, te
+
+    def _private_accuracy(self, model, tr, te, cfg, samples=40):
+        qnet = QuantizedCnn.from_float(model, tr.images[:200], 4, 4)
+        sim = SharedPolyMulSimulator(
+            n=256, share_bits=26, weight_config=cfg,
+            rng=np.random.default_rng(9),
+        )
+        report = evaluate_private_inference(
+            qnet, te.images, te.labels, sim, max_samples=samples
+        )
+        return report.private_accuracy, report.agreement
+
+    def test_recovers_accuracy_under_coarse_config(self, setup):
+        tr, te = setup
+        cfg = ApproxFftConfig(n=128, stage_widths=9, twiddle_k=1)
+
+        baseline = make_mini_cnn(seed=0)
+        train(baseline, tr, epochs=6, lr=0.08, seed=1)
+        acc_before, agree_before = self._private_accuracy(baseline, tr, te, cfg)
+
+        adapted = make_mini_cnn(seed=0)
+        train(adapted, tr, epochs=6, lr=0.08, seed=1)
+        train_approx_aware(adapted, tr, noise_rel=0.08, epochs=4, seed=5)
+        acc_after, agree_after = self._private_accuracy(adapted, tr, te, cfg)
+
+        # The coarse config hurts the baseline; adaptation recovers (or at
+        # minimum does not worsen) accuracy under approximation.
+        assert agree_before < 1.0
+        assert acc_after >= acc_before
+
+    def test_adapt_to_config_measures_noise(self, setup):
+        tr, _ = setup
+        model = make_mini_cnn(seed=2)
+        train(model, tr, epochs=2, lr=0.08, seed=1)
+        cfg = ApproxFftConfig(n=128, stage_widths=12, twiddle_k=2)
+        result = adapt_to_config(model, tr, cfg, epochs=1, seed=3)
+        assert result.noise_rel > 0
+        assert len(result.losses) == 1
+
+    def test_zero_noise_is_plain_training(self, setup):
+        tr, _ = setup
+        model = make_mini_cnn(seed=4)
+        result = train_approx_aware(model, tr, noise_rel=0.0, epochs=1, seed=6)
+        assert result.losses[0] > 0
+
+    def test_rejects_negative_noise(self, setup):
+        tr, _ = setup
+        with pytest.raises(ValueError):
+            train_approx_aware(make_mini_cnn(), tr, noise_rel=-0.1)
+
+    def test_weights_not_left_perturbed(self, setup):
+        # After a training step the stored weights are the *clean* updated
+        # weights, not the noisy forward copies: repeated eval is stable.
+        tr, te = setup
+        model = make_mini_cnn(seed=5)
+        train_approx_aware(model, tr, noise_rel=0.3, epochs=1, seed=7)
+        logits_a = model.forward(te.images[:4], training=False)
+        logits_b = model.forward(te.images[:4], training=False)
+        np.testing.assert_array_equal(logits_a, logits_b)

@@ -1,0 +1,163 @@
+"""Tests for the numpy NN layers: gradients, shapes, training dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    softmax_cross_entropy,
+)
+
+
+def _numeric_grad(f, x, eps=1e-5):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def _loss_through(layer, x, seed=0):
+    rng = np.random.default_rng(seed)
+    out = layer.forward(x, training=True)
+    target = rng.standard_normal(out.shape)
+
+    def f():
+        return float(0.5 * np.sum((layer.forward(x, training=True) - target) ** 2))
+
+    out = layer.forward(x, training=True)
+    grad_out = out - target
+    return f, grad_out
+
+
+class TestConvGradients:
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng)
+        x = rng.standard_normal((2, 2, 5, 5))
+        f, grad_out = _loss_through(layer, x)
+        gx = layer.backward(grad_out)
+        num = _numeric_grad(f, x)
+        np.testing.assert_allclose(gx, num, atol=1e-4)
+
+    def test_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        layer = Conv2d(1, 2, 3, stride=2, rng=rng)
+        x = rng.standard_normal((2, 1, 7, 7))
+        f, grad_out = _loss_through(layer, x)
+        layer.backward(grad_out)
+        num = _numeric_grad(f, layer.weight)
+        np.testing.assert_allclose(layer.grad_weight, num, atol=1e-4)
+
+    def test_bias_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        layer = Conv2d(1, 2, 3, rng=rng)
+        x = rng.standard_normal((3, 1, 5, 5))
+        f, grad_out = _loss_through(layer, x)
+        layer.backward(grad_out)
+        num = _numeric_grad(f, layer.bias)
+        np.testing.assert_allclose(layer.grad_bias, num, atol=1e-4)
+
+    def test_output_shape(self):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1)
+        out = layer.forward(np.zeros((4, 3, 12, 12)), training=False)
+        assert out.shape == (4, 8, 6, 6)
+
+
+class TestLinearGradients:
+    def test_gradients_match_numeric(self):
+        rng = np.random.default_rng(3)
+        layer = Linear(6, 4, rng=rng)
+        x = rng.standard_normal((5, 6))
+        f, grad_out = _loss_through(layer, x)
+        gx = layer.backward(grad_out)
+        np.testing.assert_allclose(gx, _numeric_grad(f, x), atol=1e-4)
+        np.testing.assert_allclose(
+            layer.grad_weight, _numeric_grad(f, layer.weight), atol=1e-4
+        )
+
+
+class TestActivationsAndPooling:
+    def test_relu_forward_backward(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.5], [2.0, -3.0]])
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out, [[0.0, 0.5], [2.0, 0.0]])
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_maxpool_forward(self):
+        layer = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_max(self):
+        layer = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        layer.forward(x)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        assert grad[0, 0, 1, 1] == 1.0
+        assert grad[0, 0, 0, 0] == 0.0
+        assert grad.sum() == 4.0
+
+    def test_avgpool_gradient_numeric(self):
+        rng = np.random.default_rng(4)
+        layer = AvgPool2d(2)
+        x = rng.standard_normal((2, 3, 4, 4))
+        f, grad_out = _loss_through(layer, x)
+        gx = layer.backward(grad_out)
+        np.testing.assert_allclose(gx, _numeric_grad(f, x), atol=1e-5)
+
+    def test_pool_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(3).forward(np.zeros((1, 1, 4, 4)))
+        with pytest.raises(ValueError):
+            AvgPool2d(3).forward(np.zeros((1, 1, 4, 4)))
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 3, 2, 2)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+
+class TestSequentialAndLoss:
+    def test_sequential_collects_parameters(self):
+        model = Sequential(Conv2d(1, 2, 3), ReLU(), Flatten(), Linear(8, 2))
+        assert len(model.parameters()) == 4  # two weights + two biases
+        assert len(model.gradients()) == 4
+
+    def test_cross_entropy_gradient_numeric(self):
+        rng = np.random.default_rng(5)
+        logits = rng.standard_normal((4, 3))
+        labels = np.array([0, 2, 1, 1])
+        _, grad = softmax_cross_entropy(logits, labels)
+
+        def f():
+            loss, _ = softmax_cross_entropy(logits, labels)
+            return loss
+
+        num = _numeric_grad(f, logits)
+        np.testing.assert_allclose(grad, num, atol=1e-6)
+
+    def test_cross_entropy_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6

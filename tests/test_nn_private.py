@@ -1,0 +1,184 @@
+"""Tests for the private-inference error simulator (network-level study)."""
+
+import numpy as np
+import pytest
+
+from repro.fftcore import ApproxFftConfig
+from repro.nn import (
+    QuantizedCnn,
+    SharedPolyMulSimulator,
+    evaluate_private_inference,
+    hconv_output_error_variance,
+    make_mini_cnn,
+    make_private_conv_fn,
+    make_private_linear_fn,
+    make_synthetic_dataset,
+    train,
+    train_test_split,
+)
+from repro.ntt import negacyclic_convolution_naive
+
+
+@pytest.fixture(scope="module")
+def qnet_and_data():
+    ds = make_synthetic_dataset(1000, size=12, channels=1, seed=3)
+    tr, te = train_test_split(ds)
+    model = make_mini_cnn(seed=0)
+    train(model, tr, epochs=6, lr=0.08, seed=1)
+    q = QuantizedCnn.from_float(model, tr.images[:200], w_bits=4, a_bits=4)
+    return q, te
+
+
+class TestSharedPolyMul:
+    def test_fp_path_is_exact(self):
+        sim = SharedPolyMulSimulator(
+            n=64, share_bits=20, rng=np.random.default_rng(0)
+        )
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 1 << 8, size=64)
+        w = np.zeros(64, dtype=np.int64)
+        w[:9] = rng.integers(-8, 8, size=9)
+        out = sim.polymul(a, w)
+        expected = negacyclic_convolution_naive(a, w)
+        expected = np.array([int(v) for v in expected], dtype=np.int64)
+        assert np.array_equal(out, expected)
+
+    def test_weight_spectrum_cached(self):
+        sim = SharedPolyMulSimulator(n=64, share_bits=16)
+        w = np.zeros(64, dtype=np.int64)
+        w[0] = 3
+        a = np.arange(64)
+        sim.polymul(a, w)
+        sim.polymul(a, w)
+        assert len(sim._spectra) == 1
+
+    def test_error_behaves_like_weight_perturbation(self):
+        # Key property: weight-path approximation acts as a perturbed
+        # kernel, so the output error scales with the *activation*
+        # magnitude, not the share magnitude t.
+        cfg = ApproxFftConfig(n=32, stage_widths=16, twiddle_k=4)
+        rng = np.random.default_rng(2)
+        w = np.zeros(64, dtype=np.int64)
+        w[:9] = rng.integers(-8, 8, size=9)
+        errors = {}
+        for lim in (4, 64):
+            sim = SharedPolyMulSimulator(
+                n=64, share_bits=24, weight_config=cfg,
+                rng=np.random.default_rng(3),
+            )
+            a = rng.integers(-lim, lim, size=64)
+            out = sim.polymul(a % (1 << 24), w)
+            exact = negacyclic_convolution_naive(a, w)
+            exact = np.array([int(v) for v in exact], dtype=np.int64)
+            errors[lim] = np.abs(out - exact).max()
+        # 16x larger activations -> roughly ~16x larger error (allow slack).
+        assert errors[64] > errors[4]
+        assert errors[64] < max(errors[4], 1) * 200
+
+    def test_error_shrinks_with_precision(self):
+        rng = np.random.default_rng(4)
+        w = np.zeros(64, dtype=np.int64)
+        w[:9] = rng.integers(-8, 8, size=9)
+        a = rng.integers(-8, 8, size=64)
+        exact = negacyclic_convolution_naive(a, w)
+        exact = np.array([int(v) for v in exact], dtype=np.int64)
+        errs = []
+        for dw in (10, 16, 30):
+            cfg = ApproxFftConfig(n=32, stage_widths=dw)
+            sim = SharedPolyMulSimulator(
+                n=64, share_bits=20, weight_config=cfg,
+                rng=np.random.default_rng(5),
+            )
+            out = sim.polymul(a % (1 << 20), w)
+            errs.append(int(np.abs(out - exact).max()))
+        assert errs[0] >= errs[1] >= errs[2]
+        assert errs[2] <= 1
+
+
+class TestErrorVariance:
+    def test_fp_pipeline_zero_variance(self):
+        sim = SharedPolyMulSimulator(n=64, share_bits=20)
+        w = np.zeros(64, dtype=np.int64)
+        w[:9] = 5
+        assert hconv_output_error_variance(sim, w, trials=3) == 0.0
+
+    def test_variance_monotone_in_bitwidth(self):
+        rng = np.random.default_rng(6)
+        w = np.zeros(64, dtype=np.int64)
+        w[:9] = rng.integers(1, 8, size=9)
+        variances = []
+        for dw in (8, 12, 20):
+            cfg = ApproxFftConfig(n=32, stage_widths=dw)
+            sim = SharedPolyMulSimulator(
+                n=64, share_bits=20, weight_config=cfg,
+                rng=np.random.default_rng(7),
+            )
+            variances.append(
+                hconv_output_error_variance(sim, w, trials=4)
+            )
+        assert variances[0] >= variances[1] >= variances[2]
+
+
+class TestEndToEndPrivateInference:
+    def test_fp_pipeline_full_agreement(self, qnet_and_data):
+        q, te = qnet_and_data
+        sim = SharedPolyMulSimulator(
+            n=256, share_bits=26, rng=np.random.default_rng(8)
+        )
+        report = evaluate_private_inference(q, te.images, te.labels, sim, max_samples=6)
+        assert report.agreement == 1.0
+        assert report.mean_logit_error == 0.0
+
+    def test_moderate_approximation_preserves_classes(self, qnet_and_data):
+        # Fig 5(b): with enough bits the classification is unchanged.
+        q, te = qnet_and_data
+        cfg = ApproxFftConfig(n=128, stage_widths=24, twiddle_k=0)
+        sim = SharedPolyMulSimulator(
+            n=256, share_bits=26, weight_config=cfg,
+            rng=np.random.default_rng(9),
+        )
+        report = evaluate_private_inference(q, te.images, te.labels, sim, max_samples=6)
+        assert report.agreement == 1.0
+
+    def test_extreme_approximation_degrades(self, qnet_and_data):
+        # Sanity: the study can detect damage (tiny widths break things).
+        q, te = qnet_and_data
+        cfg = ApproxFftConfig(n=128, stage_widths=5, twiddle_k=1)
+        sim = SharedPolyMulSimulator(
+            n=256, share_bits=26, weight_config=cfg,
+            rng=np.random.default_rng(10),
+        )
+        report = evaluate_private_inference(q, te.images, te.labels, sim, max_samples=6)
+        assert report.mean_logit_error > 0.0
+
+    def test_private_linear_kernel(self, qnet_and_data):
+        q, te = qnet_and_data
+        sim = SharedPolyMulSimulator(
+            n=256, share_bits=26, rng=np.random.default_rng(11)
+        )
+        logits = q.forward_with_kernels(
+            te.images[0],
+            conv_fn=make_private_conv_fn(sim),
+            linear_fn=make_private_linear_fn(sim),
+        )
+        exact = q.forward_with_kernels(te.images[0])
+        assert np.array_equal(logits, exact)
+
+
+class TestMultiChannelPrivateInference:
+    def test_three_channel_network(self):
+        # RGB-like inputs exercise channel tiling inside the polynomial
+        # encoding during private inference.
+        ds = make_synthetic_dataset(600, size=8, channels=3, seed=9)
+        tr, te = train_test_split(ds)
+        model = make_mini_cnn(channels=3, size=8, width=4, seed=2)
+        train(model, tr, epochs=5, lr=0.08, seed=3)
+        q = QuantizedCnn.from_float(model, tr.images[:150], 4, 4)
+        sim = SharedPolyMulSimulator(
+            n=256, share_bits=26, rng=np.random.default_rng(10)
+        )
+        report = evaluate_private_inference(
+            q, te.images, te.labels, sim, max_samples=5
+        )
+        assert report.agreement == 1.0
+        assert report.mean_logit_error == 0.0

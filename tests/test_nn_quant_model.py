@@ -1,0 +1,244 @@
+"""Tests for quantization, the quantized CNN, training and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    QuantParams,
+    QuantizedCnn,
+    calibrate,
+    choose_requant_shift,
+    conv2d_int_batch,
+    make_mini_cnn,
+    make_synthetic_dataset,
+    requantize_shift,
+    sum_product_bits,
+    train,
+    train_test_split,
+    accuracy,
+)
+
+
+class TestQuantParams:
+    def test_range(self):
+        p = QuantParams(bits=4, scale=0.5)
+        assert (p.qmin, p.qmax) == (-8, 7)
+
+    def test_quantize_dequantize(self):
+        p = QuantParams(bits=8, scale=0.1)
+        x = np.array([0.05, -0.31, 1.0])
+        q = p.quantize(x)
+        assert q.dtype == np.int64
+        np.testing.assert_allclose(p.dequantize(q), x, atol=0.05 + 1e-9)
+
+    def test_saturation(self):
+        p = QuantParams(bits=4, scale=1.0)
+        assert p.quantize(np.array([100.0, -100.0])).tolist() == [7, -8]
+
+    def test_calibrate_covers_max(self):
+        x = np.array([0.0, 0.5, -2.0])
+        p = calibrate(x, bits=4)
+        assert p.quantize(np.array([-2.0]))[0] == -7
+
+    def test_calibrate_empty_or_zero(self):
+        p = calibrate(np.zeros(4), bits=4)
+        assert p.scale > 0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            QuantParams(bits=1, scale=1.0)
+        with pytest.raises(ValueError):
+            QuantParams(bits=4, scale=0.0)
+
+
+class TestRequantize:
+    def test_shift_rounds(self):
+        out = requantize_shift(np.array([7, 8, -8]), shift=3, bits=8)
+        assert out.tolist() == [1, 1, -1]
+
+    def test_zero_shift_identity(self):
+        out = requantize_shift(np.array([5, -5]), shift=0, bits=8)
+        assert out.tolist() == [5, -5]
+
+    def test_clipping(self):
+        out = requantize_shift(np.array([1000, -1000]), shift=0, bits=4)
+        assert out.tolist() == [7, -8]
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            requantize_shift(np.array([1]), shift=-1, bits=4)
+
+    def test_choose_shift_fits(self):
+        sp = np.array([1000, -2000, 50])
+        shift = choose_requant_shift(sp, bits=4)
+        out = requantize_shift(sp, shift, bits=4)
+        assert np.abs(out).max() <= 7
+        # The chosen shift is minimal under the (conservative) float
+        # halving rule the calibrator uses.
+        assert np.abs(sp).max() / 2.0 ** max(shift - 1, 0) > 7
+
+    def test_percentile_shift_is_smaller(self):
+        rng = np.random.default_rng(0)
+        sp = rng.integers(-100, 100, size=10000)
+        sp[0] = 100000  # one outlier
+        assert choose_requant_shift(sp, 4, percentile=99.0) < (
+            choose_requant_shift(sp, 4, percentile=100.0)
+        )
+
+    def test_sum_product_bits(self):
+        # W4A4 with 576 accumulation terms: 3+3 magnitude bits + 10
+        # accumulation bits + sign = 17.
+        assert sum_product_bits(4, 4, 576) == 17
+        with pytest.raises(ValueError):
+            sum_product_bits(4, 4, 0)
+
+
+class TestIntConv:
+    def test_matches_direct(self):
+        from repro.encoding import conv2d_direct
+
+        rng = np.random.default_rng(1)
+        x = rng.integers(-8, 8, size=(2, 3, 6, 6))
+        w = rng.integers(-8, 8, size=(4, 3, 3, 3))
+        out = conv2d_int_batch(x, w, stride=2, padding=1)
+        for b in range(2):
+            assert np.array_equal(out[b], conv2d_direct(x[b], w, 2, 1))
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    ds = make_synthetic_dataset(1200, size=12, channels=1, seed=3)
+    tr, te = train_test_split(ds)
+    model = make_mini_cnn(seed=0)
+    train(model, tr, epochs=6, lr=0.08, seed=1)
+    return model, tr, te
+
+
+class TestTrainingAndQuantizedCnn:
+    def test_float_model_learns(self, trained_setup):
+        model, _, te = trained_setup
+        assert accuracy(model, te) > 0.9
+
+    def test_w8a8_matches_float_closely(self, trained_setup):
+        model, tr, te = trained_setup
+        q = QuantizedCnn.from_float(model, tr.images[:200], w_bits=8, a_bits=8)
+        assert q.accuracy_int(te.images, te.labels) > accuracy(model, te) - 0.05
+
+    def test_w4a4_retains_accuracy(self, trained_setup):
+        model, tr, te = trained_setup
+        q = QuantizedCnn.from_float(model, tr.images[:200], w_bits=4, a_bits=4)
+        assert q.accuracy_int(te.images, te.labels) > 0.85
+
+    def test_forward_with_kernels_matches_forward_int(self, trained_setup):
+        model, tr, te = trained_setup
+        q = QuantizedCnn.from_float(model, tr.images[:200])
+        batch_logits = q.forward_int(te.images[:5])
+        for i in range(5):
+            single = q.forward_with_kernels(te.images[i])
+            assert np.array_equal(single, batch_logits[i])
+
+    def test_collect_sp(self, trained_setup):
+        model, tr, te = trained_setup
+        q = QuantizedCnn.from_float(model, tr.images[:200])
+        _, sps = q.forward_with_kernels(te.images[0], collect_sp=True)
+        assert len(sps) == 3  # two convs + one linear
+
+    def test_activations_respect_bit_width(self, trained_setup):
+        model, tr, _ = trained_setup
+        q = QuantizedCnn.from_float(model, tr.images[:200], w_bits=4, a_bits=4)
+        for spec in q.conv_specs():
+            assert np.abs(spec.weight_q).max() <= 8
+
+    def test_max_sum_product_terms(self, trained_setup):
+        model, tr, _ = trained_setup
+        q = QuantizedCnn.from_float(model, tr.images[:200])
+        # widest accumulation: conv2 with 8 channels * 3 * 3 = 72 or the
+        # final linear of 2*8*(12/4)^2 = 144 inputs.
+        assert q.max_sum_product_terms() == 144
+
+    def test_rejects_unsupported_layer(self):
+        from repro.nn.layers import Layer, Sequential
+
+        class Odd(Layer):
+            def forward(self, x, training=True):
+                return x
+
+        with pytest.raises(TypeError):
+            QuantizedCnn.from_float(Sequential(Odd()), np.zeros((1, 1, 4, 4)))
+
+
+class TestDataset:
+    def test_deterministic(self):
+        a = make_synthetic_dataset(50, seed=7)
+        b = make_synthetic_dataset(50, seed=7)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_ranges(self):
+        ds = make_synthetic_dataset(100, seed=0)
+        assert ds.images.min() >= -1.0
+        assert ds.images.max() <= 1.0
+        assert set(np.unique(ds.labels)) <= set(range(10))
+
+    def test_split_disjoint_and_complete(self):
+        ds = make_synthetic_dataset(100, seed=0)
+        tr, te = train_test_split(ds, test_fraction=0.25, seed=2)
+        assert len(tr) == 75
+        assert len(te) == 25
+
+    def test_batches_cover_dataset(self):
+        ds = make_synthetic_dataset(55, seed=1)
+        rng = np.random.default_rng(0)
+        seen = sum(len(y) for _, y in ds.batches(16, rng))
+        assert seen == 55
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            make_synthetic_dataset(10, num_classes=1)
+        ds = make_synthetic_dataset(10)
+        with pytest.raises(ValueError):
+            train_test_split(ds, test_fraction=1.5)
+
+
+class TestResNetTables:
+    def test_resnet18_has_20_convs(self):
+        from repro.nn import resnet18_conv_layers
+
+        assert len(resnet18_conv_layers()) == 20
+
+    def test_resnet50_has_53_convs(self):
+        from repro.nn import resnet50_conv_layers
+
+        assert len(resnet50_conv_layers()) == 53
+
+    def test_layer_dimension_chaining(self):
+        from repro.nn import resnet50_conv_layers
+
+        layers = resnet50_conv_layers()
+        # Final stage operates at 7x7 with 512-wide bottlenecks.
+        assert layers[-1].shape.height == 7
+        assert layers[-1].shape.out_channels == 2048
+
+    def test_macs_match_published_scale(self):
+        from repro.nn import total_macs
+
+        # ResNet-50 ~4.1 GMACs, ResNet-18 ~1.8 GMACs (conv only).
+        assert 3.5e9 < total_macs("resnet50") < 4.5e9
+        assert 1.5e9 < total_macs("resnet18") < 2.1e9
+
+    def test_get_layer_bounds(self):
+        from repro.nn import get_layer
+
+        assert get_layer("resnet50", 28).shape is not None
+        with pytest.raises(IndexError):
+            get_layer("resnet18", 21)
+        with pytest.raises(KeyError):
+            from repro.nn import conv_layers
+
+            conv_layers("vgg")
+
+    def test_residual_block(self):
+        from repro.nn import residual_block_layers
+
+        block = residual_block_layers("resnet50")
+        assert len(block) == 4  # conv1/conv2/conv3 + downsample

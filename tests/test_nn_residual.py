@@ -1,0 +1,150 @@
+"""Tests for residual layers and quantized residual networks."""
+
+import numpy as np
+import pytest
+
+from repro.fftcore import ApproxFftConfig
+from repro.nn import (
+    Conv2d,
+    QuantizedCnn,
+    ReLU,
+    Residual,
+    Sequential,
+    SharedPolyMulSimulator,
+    accuracy,
+    evaluate_private_inference,
+    make_mini_resnet,
+    make_synthetic_dataset,
+    train,
+    train_test_split,
+)
+
+
+def _numeric_grad(f, x, eps=1e-5):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestResidualLayer:
+    def test_forward_adds_identity(self):
+        rng = np.random.default_rng(0)
+        block = Residual(Conv2d(2, 2, 3, padding=1, rng=rng))
+        x = rng.standard_normal((1, 2, 4, 4))
+        out = block.forward(x, training=False)
+        branch = block.inner[0].forward(x, training=False)
+        np.testing.assert_allclose(out, branch + x)
+
+    def test_backward_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        block = Residual(Conv2d(1, 1, 3, padding=1, rng=rng), ReLU())
+        x = rng.standard_normal((2, 1, 4, 4))
+        out = block.forward(x, training=True)
+        target = rng.standard_normal(out.shape)
+
+        def f():
+            return float(
+                0.5 * np.sum((block.forward(x, training=True) - target) ** 2)
+            )
+
+        out = block.forward(x, training=True)
+        gx = block.backward(out - target)
+        np.testing.assert_allclose(gx, _numeric_grad(f, x), atol=1e-4)
+
+    def test_weight_gradient_through_block(self):
+        rng = np.random.default_rng(2)
+        conv = Conv2d(1, 1, 3, padding=1, rng=rng)
+        block = Residual(conv)
+        x = rng.standard_normal((1, 1, 4, 4))
+        out = block.forward(x, training=True)
+        target = np.zeros_like(out)
+
+        def f():
+            return float(
+                0.5 * np.sum((block.forward(x, training=True) - target) ** 2)
+            )
+
+        out = block.forward(x, training=True)
+        block.backward(out - target)
+        np.testing.assert_allclose(
+            conv.grad_weight, _numeric_grad(f, conv.weight), atol=1e-4
+        )
+
+    def test_shape_mismatch_rejected(self):
+        block = Residual(Conv2d(2, 3, 3, padding=1))
+        with pytest.raises(ValueError):
+            block.forward(np.zeros((1, 2, 4, 4)))
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            Residual()
+
+    def test_parameters_collected(self):
+        block = Residual(Conv2d(1, 1, 3), ReLU(), Conv2d(1, 1, 3))
+        assert len(block.parameters()) == 4
+        model = Sequential(block)
+        assert len(model.parameters()) == 4
+
+
+@pytest.fixture(scope="module")
+def trained_resnet():
+    ds = make_synthetic_dataset(1200, size=12, channels=1, seed=3)
+    tr, te = train_test_split(ds)
+    model = make_mini_resnet(seed=0)
+    train(model, tr, epochs=6, lr=0.08, seed=1)
+    return model, tr, te
+
+
+class TestQuantizedResidual:
+    def test_float_model_learns(self, trained_resnet):
+        model, _, te = trained_resnet
+        assert accuracy(model, te) > 0.9
+
+    def test_w4a4_quantization(self, trained_resnet):
+        model, tr, te = trained_resnet
+        q = QuantizedCnn.from_float(model, tr.images[:200], 4, 4)
+        assert q.accuracy_int(te.images, te.labels) > 0.85
+
+    def test_ops_contain_residual_markers(self, trained_resnet):
+        model, tr, _ = trained_resnet
+        q = QuantizedCnn.from_float(model, tr.images[:200], 4, 4)
+        kinds = [op[0] for op in q.ops]
+        assert "res_push" in kinds
+        assert "res_add" in kinds
+        assert kinds.index("res_push") < kinds.index("res_add")
+
+    def test_multiplier_calibrated(self, trained_resnet):
+        model, tr, _ = trained_resnet
+        q = QuantizedCnn.from_float(model, tr.images[:200], 4, 4)
+        (info,) = [op[1] for op in q.ops if op[0] == "res_add"]
+        assert info["multiplier"] > 0
+
+    def test_single_image_path_matches_batch(self, trained_resnet):
+        model, tr, te = trained_resnet
+        q = QuantizedCnn.from_float(model, tr.images[:200], 4, 4)
+        batch = q.forward_int(te.images[:4])
+        for i in range(4):
+            assert np.array_equal(q.forward_with_kernels(te.images[i]), batch[i])
+
+    def test_private_inference_on_residual_net(self, trained_resnet):
+        model, tr, te = trained_resnet
+        q = QuantizedCnn.from_float(model, tr.images[:200], 4, 4)
+        cfg = ApproxFftConfig(n=128, stage_widths=24, twiddle_k=0)
+        sim = SharedPolyMulSimulator(
+            n=256, share_bits=26, weight_config=cfg,
+            rng=np.random.default_rng(7),
+        )
+        report = evaluate_private_inference(
+            q, te.images, te.labels, sim, max_samples=6
+        )
+        assert report.agreement == 1.0

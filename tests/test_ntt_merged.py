@@ -1,0 +1,101 @@
+"""Tests for the merged-twist (SEAL-style) negacyclic NTT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ntt import (
+    NegacyclicNtt,
+    find_ntt_primes,
+    negacyclic_convolution_naive,
+)
+from repro.ntt.merged import MergedNtt, get_merged_ntt
+
+
+@pytest.fixture(scope="module")
+def pair():
+    (q,) = find_ntt_primes(30, 64)
+    return MergedNtt(64, q), NegacyclicNtt(64, q)
+
+
+class TestMergedNtt:
+    def test_roundtrip(self, pair):
+        merged, _ = pair
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, merged.q, size=64, dtype=np.uint64)
+        assert np.array_equal(merged.inverse(merged.forward(a)), a)
+
+    def test_forward_is_bit_reversed_two_pass(self, pair):
+        # The merged transform equals the explicit-twist transform with
+        # its output permuted into bit-reversed order.
+        merged, two_pass = pair
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, merged.q, size=64, dtype=np.uint64)
+        natural = merged.to_natural_order(merged.forward(a))
+        assert np.array_equal(natural, two_pass.forward(a))
+
+    def test_multiply_matches_naive(self, pair):
+        merged, _ = pair
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, merged.q, size=64, dtype=np.uint64)
+        b = rng.integers(0, merged.q, size=64, dtype=np.uint64)
+        expected = negacyclic_convolution_naive(a, b, modulus=merged.q)
+        assert np.array_equal(merged.multiply(a, b), expected)
+
+    def test_multiply_matches_two_pass(self, pair):
+        merged, two_pass = pair
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, merged.q, size=64, dtype=np.uint64)
+        b = rng.integers(0, merged.q, size=64, dtype=np.uint64)
+        assert np.array_equal(merged.multiply(a, b), two_pass.multiply(a, b))
+
+    def test_39bit_modulus(self):
+        (q,) = find_ntt_primes(39, 128)
+        merged = MergedNtt(128, q)
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, q, size=128, dtype=np.uint64)
+        b = rng.integers(0, q, size=128, dtype=np.uint64)
+        expected = negacyclic_convolution_naive(a, b, modulus=q)
+        assert np.array_equal(merged.multiply(a, b), expected)
+
+    def test_large_n(self):
+        (q,) = find_ntt_primes(30, 4096)
+        merged = get_merged_ntt(4096, q)
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, q, size=4096, dtype=np.uint64)
+        assert np.array_equal(merged.inverse(merged.forward(a)), a)
+
+    def test_cache(self):
+        (q,) = find_ntt_primes(30, 64)
+        assert get_merged_ntt(64, q) is get_merged_ntt(64, q)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MergedNtt(48, 97)
+        with pytest.raises(ValueError):
+            MergedNtt(64, 97)  # wrong congruence
+        (q,) = find_ntt_primes(20, 16)
+        ntt = MergedNtt(16, q)
+        with pytest.raises(ValueError):
+            ntt.forward(np.zeros(8, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            ntt.inverse(np.zeros(8, dtype=np.uint64))
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_property_agrees_with_two_pass_n16(self, data):
+        (q,) = find_ntt_primes(20, 16)
+        merged = get_merged_ntt(16, q)
+        from repro.ntt import get_ntt
+
+        two_pass = get_ntt(16, q)
+        a = np.array(
+            data.draw(st.lists(st.integers(0, q - 1), min_size=16, max_size=16)),
+            dtype=np.uint64,
+        )
+        b = np.array(
+            data.draw(st.lists(st.integers(0, q - 1), min_size=16, max_size=16)),
+            dtype=np.uint64,
+        )
+        assert np.array_equal(merged.multiply(a, b), two_pass.multiply(a, b))

@@ -1,0 +1,221 @@
+"""Tests for arithmetic secret sharing and the hybrid HE/2PC protocols."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import ConvShape, LinearShape
+from repro.he import flash_backend, fp_fft_backend, toy_preset
+from repro.protocol import (
+    HybridConvProtocol,
+    HybridLinearProtocol,
+    ShareRing,
+    make_session,
+)
+
+
+class TestShareRing:
+    def test_share_reconstruct_roundtrip(self):
+        ring = ShareRing(16)
+        rng = np.random.default_rng(0)
+        x = rng.integers(-1000, 1000, size=50)
+        c, s = ring.share(x, rng)
+        assert np.array_equal(ring.reconstruct(c, s), x)
+
+    def test_shares_look_uniform(self):
+        ring = ShareRing(16)
+        rng = np.random.default_rng(1)
+        x = np.zeros(4096, dtype=np.int64)
+        c, _ = ring.share(x, rng)
+        # Client share of an all-zero secret must span the ring.
+        assert c.min() < ring.modulus // 8
+        assert c.max() > ring.modulus * 7 // 8
+
+    def test_signed_semantics(self):
+        ring = ShareRing(8)
+        assert ring.to_signed(np.array([255])).tolist() == [-1]
+        assert ring.to_signed(np.array([127])).tolist() == [127]
+        assert ring.to_signed(np.array([128])).tolist() == [-128]
+
+    def test_arithmetic(self):
+        ring = ShareRing(8)
+        assert ring.add(250, 10).tolist() == 4
+        assert ring.sub(3, 10).tolist() == 249
+        assert ring.neg(1).tolist() == 255
+
+    def test_fits_signed(self):
+        ring = ShareRing(8)
+        assert ring.fits_signed(np.array([-128, 127]))
+        assert not ring.fits_signed(np.array([128]))
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ShareRing(1)
+        with pytest.raises(ValueError):
+            ShareRing(63)
+
+    @given(
+        bits=st.integers(4, 32),
+        value=st.integers(-1000, 1000),
+        seed=st.integers(0, 1 << 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, bits, value, seed):
+        ring = ShareRing(bits)
+        half = ring.modulus >> 1
+        if not -half <= value < half:
+            value %= half
+        rng = np.random.default_rng(seed)
+        c, s = ring.share(np.array([value]), rng)
+        assert ring.reconstruct(c, s).tolist() == [value]
+
+
+@pytest.fixture(scope="module")
+def params():
+    return toy_preset(n=64, share_bits=16)
+
+
+@pytest.fixture(scope="module")
+def session(params):
+    return make_session(params, np.random.default_rng(1234))
+
+
+class TestHybridConv:
+    def test_exact_with_ntt_backend(self, params, session):
+        rng = np.random.default_rng(2)
+        shape = ConvShape.square(2, 4, 2, 3)
+        x = rng.integers(-8, 8, size=(2, 4, 4))
+        w = rng.integers(-8, 8, size=(2, 2, 3, 3))
+        result = HybridConvProtocol(params, shape).run(x, w, rng, session)
+        assert result.exact
+        assert result.stats.min_noise_budget > 0
+
+    def test_exact_with_fp_fft_backend(self, params, session):
+        rng = np.random.default_rng(3)
+        shape = ConvShape.square(2, 4, 2, 3)
+        x = rng.integers(-8, 8, size=(2, 4, 4))
+        w = rng.integers(-8, 8, size=(2, 2, 3, 3))
+        result = HybridConvProtocol(params, shape, fp_fft_backend()).run(
+            x, w, rng, session
+        )
+        assert result.exact
+
+    def test_flash_backend_small_error(self, params, session):
+        rng = np.random.default_rng(4)
+        shape = ConvShape.square(2, 4, 2, 3)
+        x = rng.integers(-8, 8, size=(2, 4, 4))
+        w = rng.integers(-8, 8, size=(2, 2, 3, 3))
+        # Message-domain error scales as rel_fft_error * t: a 30-bit
+        # datapath with exact twiddles keeps it below one LSB; a coarse
+        # k=5 twiddle ROM (rel error ~2^-7) leaves errors in the low bits.
+        exact_tw = flash_backend(params.n, stage_widths=30, twiddle_k=0)
+        result = HybridConvProtocol(params, shape, exact_tw).run(
+            x, w, rng, session
+        )
+        assert result.max_error <= 1
+        coarse = flash_backend(params.n, stage_widths=30, twiddle_k=5)
+        result2 = HybridConvProtocol(params, shape, coarse).run(
+            x, w, rng, session
+        )
+        assert 0 < result2.max_error <= params.t >> 5
+
+    def test_strided_padded_conv(self, params, session):
+        rng = np.random.default_rng(5)
+        shape = ConvShape.square(1, 7, 2, 3, stride=2, padding=1)
+        x = rng.integers(-8, 8, size=(1, 7, 7))
+        w = rng.integers(-8, 8, size=(2, 1, 3, 3))
+        result = HybridConvProtocol(params, shape).run(x, w, rng, session)
+        assert result.exact
+
+    def test_multi_tile_accumulation(self, params, session):
+        rng = np.random.default_rng(6)
+        # 8 channels of 4x4 = 2 tiles in a 64-degree ring.
+        shape = ConvShape.square(8, 4, 1, 3)
+        x = rng.integers(-4, 4, size=(8, 4, 4))
+        w = rng.integers(-4, 4, size=(1, 8, 3, 3))
+        result = HybridConvProtocol(params, shape).run(x, w, rng, session)
+        assert result.exact
+        assert result.stats.ciphertexts_sent == 2
+
+    def test_shares_are_additive(self, params, session):
+        rng = np.random.default_rng(7)
+        shape = ConvShape.square(1, 4, 1, 3)
+        x = rng.integers(-8, 8, size=(1, 4, 4))
+        w = rng.integers(-8, 8, size=(1, 1, 3, 3))
+        result = HybridConvProtocol(params, shape).run(x, w, rng, session)
+        ring = ShareRing(16)
+        assert np.array_equal(
+            ring.reconstruct(result.client_share, result.server_share),
+            result.expected,
+        )
+
+    def test_overflow_detected(self, params, session):
+        shape = ConvShape.square(1, 4, 1, 3)
+        x = np.full((1, 4, 4), 30000, dtype=np.int64)
+        w = np.full((1, 1, 3, 3), 30000, dtype=np.int64)
+        with pytest.raises(ValueError):
+            HybridConvProtocol(params, shape).run(
+                x, w, np.random.default_rng(8), session
+            )
+
+    def test_transform_accounting(self, params, session):
+        rng = np.random.default_rng(9)
+        shape = ConvShape.square(2, 4, 3, 3)  # 1 tile, 3 out channels
+        x = rng.integers(-4, 4, size=(2, 4, 4))
+        w = rng.integers(-4, 4, size=(3, 2, 3, 3))
+        result = HybridConvProtocol(params, shape).run(x, w, rng, session)
+        assert result.stats.weight_transforms == 3
+        assert result.stats.input_transforms == 1
+        assert result.stats.ciphertexts_returned == 3
+
+    def test_rejects_odd_plaintext_modulus(self):
+        from repro.he import BfvParameters
+        from repro.protocol.hybrid import _PartyPair
+
+        odd = BfvParameters(n=64, plain_modulus=65537, q_bits=(30, 30))
+        with pytest.raises(ValueError):
+            _PartyPair(odd, np.random.default_rng(0))
+
+
+class TestHybridLinear:
+    def test_exact_matvec(self, params, session):
+        rng = np.random.default_rng(10)
+        shape = LinearShape(16, 6)
+        x = rng.integers(-20, 20, size=16)
+        w = rng.integers(-8, 8, size=(6, 16))
+        result = HybridLinearProtocol(params, shape).run(x, w, rng, session)
+        assert result.exact
+
+    def test_chunked_input(self, params, session):
+        rng = np.random.default_rng(11)
+        shape = LinearShape(150, 4)  # 3 chunks in a 64-degree ring
+        x = rng.integers(-4, 4, size=150)
+        w = rng.integers(-4, 4, size=(4, 150))
+        result = HybridLinearProtocol(params, shape).run(x, w, rng, session)
+        assert result.exact
+        assert result.stats.ciphertexts_sent == 3
+
+    def test_flash_backend_linear(self, params, session):
+        rng = np.random.default_rng(12)
+        shape = LinearShape(16, 4)
+        x = rng.integers(-20, 20, size=16)
+        w = rng.integers(-8, 8, size=(4, 16))
+        # k=18 twiddles with a deep fraction budget (the paper's "<1%
+        # degradation without training" point) leave at most LSB error.
+        backend = flash_backend(
+            params.n, stage_widths=32, twiddle_k=18, twiddle_max_shift=26
+        )
+        result = HybridLinearProtocol(params, shape, backend).run(
+            x, w, rng, session
+        )
+        assert result.max_error <= 2
+
+    def test_overflow_detected(self, params, session):
+        shape = LinearShape(4, 1)
+        x = np.full(4, 20000, dtype=np.int64)
+        w = np.full((1, 4), 20000, dtype=np.int64)
+        with pytest.raises(ValueError):
+            HybridLinearProtocol(params, shape).run(
+                x, w, np.random.default_rng(13), session
+            )

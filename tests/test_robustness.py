@@ -1,0 +1,134 @@
+"""Failure-injection and robustness sanity checks across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.encoding import ConvShape
+from repro.he import BfvContext, toy_preset
+from repro.he.poly import RingPoly, uniform_poly
+from repro.protocol import HybridConvProtocol, ShareRing
+
+
+class TestBfvTampering:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        params = toy_preset(n=64, share_bits=12)
+        ctx = BfvContext(params)
+        rng = np.random.default_rng(0)
+        sk, pk = ctx.keygen(rng)
+        m = rng.integers(0, params.t, size=64)
+        ct = ctx.encrypt(pk, m, rng)
+        return params, ctx, sk, pk, m, ct
+
+    def test_wrong_key_decrypts_garbage(self, setup):
+        params, ctx, _, pk, m, ct = setup
+        other_sk, _ = ctx.keygen(np.random.default_rng(99))
+        wrong = ctx.decrypt(other_sk, ct)
+        # A wrong ternary key scrambles essentially every coefficient.
+        assert np.mean(wrong == m) < 0.2
+
+    def test_large_tamper_corrupts_message(self, setup):
+        params, ctx, sk, _, m, ct = setup
+        tampered = ct.copy()
+        big = np.zeros(64, dtype=np.int64)
+        big[7] = params.q // 3
+        tampered.c0 = tampered.c0 + RingPoly.from_signed(params.basis, big)
+        out = ctx.decrypt(sk, tampered)
+        assert out[7] != m[7]
+        # Other slots are untouched (coefficient-wise independence).
+        mask = np.arange(64) != 7
+        assert np.array_equal(out[mask], m[mask])
+
+    def test_sub_threshold_tamper_harmless(self, setup):
+        # The kernel-level bound: perturbations below q/2t never flip any
+        # coefficient.
+        params, ctx, sk, _, m, ct = setup
+        rng = np.random.default_rng(1)
+        margin = params.noise_ceiling // 4
+        tampered = ct.copy()
+        tampered.c0 = tampered.c0 + RingPoly.from_signed(
+            params.basis, rng.integers(-margin, margin, size=64)
+        )
+        assert np.array_equal(ctx.decrypt(sk, tampered), m)
+
+    def test_ciphertexts_are_randomized(self, setup):
+        params, ctx, _, pk, m, _ = setup
+        rng = np.random.default_rng(2)
+        a = ctx.encrypt(pk, m, rng)
+        b = ctx.encrypt(pk, m, rng)
+        assert a.c0 != b.c0  # fresh randomness per encryption
+
+    def test_fresh_ciphertext_components_full_range(self, setup):
+        # c1 is (pseudo)uniform mod q: it must span the whole range, not
+        # leak small-magnitude structure.
+        params, ctx, _, pk, m, ct = setup
+        centered = ct.c1.to_centered()
+        mags = np.array([abs(int(v)) for v in centered], dtype=np.float64)
+        assert mags.max() > params.q / 4
+
+
+class TestProtocolRobustness:
+    def test_client_share_alone_reveals_nothing(self):
+        # With a fresh mask per output, the client's share is uniform:
+        # identical inputs produce unrelated client shares across runs.
+        params = toy_preset(n=64, share_bits=16)
+        shape = ConvShape.square(1, 4, 1, 3)
+        rng_inputs = np.random.default_rng(3)
+        x = rng_inputs.integers(-8, 8, size=(1, 4, 4))
+        w = rng_inputs.integers(-8, 8, size=(1, 1, 3, 3))
+        shares = []
+        for seed in (10, 11):
+            result = HybridConvProtocol(params, shape).run(
+                x, w, np.random.default_rng(seed)
+            )
+            shares.append(result.client_share.copy())
+            assert result.exact
+        assert not np.array_equal(shares[0], shares[1])
+
+    def test_share_ring_masks_are_fresh(self):
+        ring = ShareRing(16)
+        rng = np.random.default_rng(4)
+        a = ring.random((100,), rng)
+        b = ring.random((100,), rng)
+        assert not np.array_equal(a, b)
+
+
+class TestNumericalEdges:
+    def test_ntt_handles_all_zero_and_all_max(self):
+        from repro.ntt import find_ntt_primes, get_ntt
+
+        (q,) = find_ntt_primes(30, 64)
+        ntt = get_ntt(64, q)
+        zeros = np.zeros(64, dtype=np.uint64)
+        assert np.array_equal(ntt.inverse(ntt.forward(zeros)), zeros)
+        maxed = np.full(64, q - 1, dtype=np.uint64)
+        assert np.array_equal(ntt.inverse(ntt.forward(maxed)), maxed)
+
+    def test_fxp_fft_saturating_input(self):
+        from repro.fftcore import ApproxFftConfig, FixedPointFft
+
+        cfg = ApproxFftConfig(n=32, stage_widths=10)
+        fxp = FixedPointFft(cfg)
+        x = np.full(32, 10.0 + 10.0j)  # far beyond the [-1, 1) range
+        out = fxp(x)
+        assert np.all(np.isfinite(out.view(np.float64)))
+
+    def test_uniform_poly_spans_all_primes(self):
+        from repro.he import toy_preset
+
+        params = toy_preset(n=64)
+        rng = np.random.default_rng(5)
+        poly = uniform_poly(params.basis, rng)
+        for residues, prime in zip(poly.residues, params.basis.primes):
+            assert int(residues.max()) < prime
+
+    def test_protocol_with_minimal_image(self):
+        # 1x3x3 input with a 3x3 kernel: a single output pixel.
+        params = toy_preset(n=64, share_bits=16)
+        rng = np.random.default_rng(6)
+        shape = ConvShape.square(1, 3, 1, 3)
+        x = rng.integers(-8, 8, size=(1, 3, 3))
+        w = rng.integers(-8, 8, size=(1, 1, 3, 3))
+        result = HybridConvProtocol(params, shape).run(x, w, rng)
+        assert result.exact
+        assert result.reconstructed.shape == (1, 1, 1)

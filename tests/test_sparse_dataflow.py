@@ -1,0 +1,197 @@
+"""Tests for the skipping/merging sparse FFT engine.
+
+Includes the paper's Example 4.1 (contiguous, 87.5% reduction) and
+Example 4.2 (single scattered element, 4 multiplications) as exact cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fftcore import fft_dit
+from repro.sparse import SparseFft
+
+
+def _check_values(engine, x, valid=None):
+    result = engine.run(x, valid=valid)
+    expected = fft_dit(x, sign=engine.sign)
+    np.testing.assert_allclose(result.values, expected, atol=1e-9)
+    return result
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 4, 16, 64, 256])
+    def test_dense_input_matches_fft(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        _check_values(SparseFft(n), x)
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_sparse_random_patterns_match_fft(self, n):
+        rng = np.random.default_rng(n + 1)
+        for count in (1, 2, 5, n // 4):
+            idx = rng.choice(n, size=count, replace=False)
+            x = np.zeros(n, dtype=np.complex128)
+            x[idx] = rng.standard_normal(count) + 1j * rng.standard_normal(count)
+            _check_values(SparseFft(n), x)
+
+    def test_all_zero_input(self):
+        engine = SparseFft(16)
+        result = engine.run(np.zeros(16, dtype=np.complex128))
+        np.testing.assert_array_equal(result.values, np.zeros(16))
+        assert result.mults == 0
+
+    def test_structural_pattern_wider_than_values(self):
+        # Hardware configures the dataflow from the structural pattern;
+        # zero *values* inside the pattern must not change correctness.
+        engine = SparseFft(32)
+        x = np.zeros(32, dtype=np.complex128)
+        x[3] = 2.0
+        result = engine.run(x, valid=[3, 7, 11])
+        np.testing.assert_allclose(result.values, fft_dit(x), atol=1e-10)
+
+    def test_rejects_nonzero_outside_pattern(self):
+        engine = SparseFft(16)
+        x = np.zeros(16, dtype=np.complex128)
+        x[5] = 1.0
+        with pytest.raises(ValueError):
+            engine.run(x, valid=[3])
+
+    def test_sign_plus_one(self):
+        rng = np.random.default_rng(9)
+        x = np.zeros(64, dtype=np.complex128)
+        x[rng.choice(64, 6, replace=False)] = rng.standard_normal(6)
+        _check_values(SparseFft(64, sign=+1), x)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SparseFft(12)
+        with pytest.raises(ValueError):
+            SparseFft(16, sign=0)
+        with pytest.raises(ValueError):
+            SparseFft(16).run(np.zeros(8, dtype=np.complex128))
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_fft_n32(self, data):
+        count = data.draw(st.integers(0, 32))
+        idx = data.draw(
+            st.lists(
+                st.integers(0, 31), min_size=count, max_size=count, unique=True
+            )
+        )
+        seed = data.draw(st.integers(0, 1 << 16))
+        rng = np.random.default_rng(seed)
+        x = np.zeros(32, dtype=np.complex128)
+        for i in idx:
+            x[i] = complex(rng.standard_normal(), rng.standard_normal())
+        _check_values(SparseFft(32), x)
+
+
+class TestPaperExamples:
+    def test_example_4_1_contiguous_skipping(self):
+        # 4 contiguous valid values at bit-reversed positions 0..3, N=16:
+        # classical dataflow = 32 mults; skipping leaves the 4-point
+        # sub-network = 4 mults, an 87.5% reduction.
+        engine = SparseFft(16)
+        # Bit-reversed positions 0..3 correspond to natural inputs 0,8,4,12.
+        valid_natural = [0, 8, 4, 12]
+        x = np.zeros(16, dtype=np.complex128)
+        x[valid_natural] = [1.0, 2.0, 3.0, 4.0]
+        result = _check_values(engine, x)
+        assert result.dense_mults == 32
+        assert result.mults == 4
+        assert result.reduction == pytest.approx(0.875)
+
+    def test_example_4_2_single_scattered_merging(self):
+        # One valid value at bit-reversed position 6 (natural index 6,
+        # since 0110 reverses to 0110), N=16: merging collapses the first
+        # three stages into 4 multiplications.
+        engine = SparseFft(16)
+        x = np.zeros(16, dtype=np.complex128)
+        x[6] = 1.7 - 0.3j
+        result = _check_values(engine, x)
+        assert result.mults == 4
+        # The honest count is even lower: W^0 and +-i coefficients are free.
+        assert result.mults_nontrivial <= 2
+
+    def test_dense_count_matches_classical_formula(self):
+        for n in (4, 16, 64):
+            engine = SparseFft(n)
+            rng = np.random.default_rng(n)
+            x = rng.standard_normal(n) + 0.1
+            result = engine.run(x.astype(np.complex128))
+            assert result.mults == (n // 2) * (n.bit_length() - 1)
+
+    def test_half_valid_prefix_runs_half_size_network(self):
+        # Valid inputs covering bit-reversed positions 0..n/2-1: skipping
+        # reduces the transform to one (n/2)-point network plus free
+        # duplication, i.e. (n/4)*log2(n/2) multiplications.
+        n = 32
+        engine = SparseFft(n)
+        natural = [i for i in range(n) if i % 2 == 0]  # reverse to prefix
+        x = np.zeros(n, dtype=np.complex128)
+        x[natural] = np.arange(1, n // 2 + 1)
+        result = _check_values(engine, x)
+        assert result.mults == (n // 4) * ((n // 2).bit_length() - 1)
+
+
+class TestCounting:
+    def test_count_matches_run(self):
+        engine = SparseFft(64)
+        valid = [0, 8, 16, 24]
+        by_count = engine.count(valid)
+        x = np.zeros(64, dtype=np.complex128)
+        x[valid] = [1.0, -2.0, 3.0, 0.5]
+        by_run = engine.run(x, valid=valid)
+        assert by_count.mults == by_run.mults
+
+    def test_mults_monotone_in_density(self):
+        engine = SparseFft(128)
+        rng = np.random.default_rng(12)
+        perm = rng.permutation(128)
+        counts = [engine.count(perm[:k]).mults for k in (1, 4, 16, 64, 128)]
+        assert counts == sorted(counts)
+
+    def test_single_element_cost_at_most_n(self):
+        # Merging bounds any single-valid transform by n multiplications
+        # (paper: "streamlined to just N multiplications").
+        n = 256
+        engine = SparseFft(n)
+        for src in (0, 1, 100, 255):
+            assert engine.count([src]).mults <= n
+
+    def test_stage_breakdown_sums_to_total(self):
+        engine = SparseFft(64)
+        result = engine.count([0, 3, 17])
+        assert sum(result.stage_mults) == result.mults
+        assert len(result.stage_mults) == engine.stages + 1
+
+    def test_honest_never_exceeds_paper(self):
+        engine = SparseFft(64)
+        rng = np.random.default_rng(5)
+        for count in (1, 3, 9, 33):
+            valid = rng.choice(64, count, replace=False)
+            r = engine.count(valid)
+            assert r.mults_nontrivial <= r.mults
+
+    def test_conv_like_pattern_large_reduction(self):
+        # A 3x3 kernel footprint in a 58-wide plane inside a 2048-point
+        # core: the paper reports >86% of computations skipped.
+        from repro.sparse import conv_like_pattern
+
+        n_core = 2048  # the N/2-point core of an N=4096 ring
+        pattern = conv_like_pattern(
+            n_core, channels=1, plane=58 * 58, kernel=3, row_stride=58
+        )
+        result = SparseFft(n_core).count(pattern)
+        # Within the core the merging-heavy pattern drops ~72% of the
+        # butterflies; against the N-point NTT the FFT replaces, the
+        # combined saving exceeds the paper's 86% figure.
+        assert result.reduction > 0.70
+        ntt_dense = (2 * n_core // 2) * ((2 * n_core).bit_length() - 1)
+        assert 1.0 - result.mults / ntt_dense > 0.86
+
+    def test_empty_pattern_costs_nothing(self):
+        assert SparseFft(32).count([]).mults == 0

@@ -1,0 +1,170 @@
+"""Tests for the combined sparse + fixed-point engine (the FLASH weight path)."""
+
+import numpy as np
+import pytest
+
+from repro.encoding import Conv2dEncoder, ConvShape
+from repro.fftcore import ApproxFftConfig, ApproxNegacyclic, FixedPointFft
+from repro.ntt import negacyclic_convolution_naive
+from repro.sparse import SparseFft
+from repro.sparse.sparse_fxp import SparseApproxNegacyclic, SparseFixedPointFft
+
+
+def _sparse_input(n, count, seed=0, scale=0.2):
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(n, size=count, replace=False)
+    x = np.zeros(n, dtype=np.complex128)
+    x[idx] = scale * (
+        rng.standard_normal(count) + 1j * rng.standard_normal(count)
+    )
+    return x
+
+
+class TestSparseFixedPointFft:
+    def test_dense_input_matches_dense_engine(self):
+        # On dense inputs the sparse engine must be bit-compatible with
+        # FixedPointFft (same quantization points, same twiddles).
+        cfg = ApproxFftConfig(n=32, stage_widths=16, twiddle_k=5)
+        rng = np.random.default_rng(1)
+        x = 0.2 * (rng.standard_normal(32) + 1j * rng.standard_normal(32))
+        dense = FixedPointFft(cfg, sign=-1)(x)
+        sparse = SparseFixedPointFft(cfg, sign=-1).run(x)
+        np.testing.assert_allclose(sparse.values, dense, atol=1e-12)
+        assert sparse.mults == sparse.dense_mults
+
+    @pytest.mark.parametrize("count", [1, 3, 9])
+    def test_sparse_high_precision_matches_exact_fft(self, count):
+        cfg = ApproxFftConfig(n=64, stage_widths=45)
+        engine = SparseFixedPointFft(cfg, sign=-1)
+        x = _sparse_input(64, count, seed=count)
+        result = engine.run(x)
+        exact = np.fft.fft(x) * engine.output_scale
+        np.testing.assert_allclose(result.values, exact, atol=1e-9)
+
+    def test_mult_count_matches_exact_engine(self):
+        # The combined engine performs the same skipping/merging as the
+        # exact engine (up to exponent-aliasing of +-W^e groups).
+        cfg = ApproxFftConfig(n=64, stage_widths=30)
+        fxp_engine = SparseFixedPointFft(cfg, sign=-1)
+        exact_engine = SparseFft(64, sign=-1)
+        for count in (1, 4, 16):
+            x = _sparse_input(64, count, seed=count + 10)
+            got = fxp_engine.run(x).mults
+            ref = exact_engine.run(x).mults
+            assert abs(got - ref) <= max(2, ref // 4)
+
+    def test_paper_example_counts(self):
+        cfg = ApproxFftConfig(n=16, stage_widths=30)
+        engine = SparseFixedPointFft(cfg, sign=-1)
+        # Example 4.1: contiguous 4.
+        x = np.zeros(16, dtype=np.complex128)
+        x[[0, 8, 4, 12]] = [0.1, 0.2, 0.3, 0.4]
+        assert engine.run(x).mults == 4
+        # Example 4.2: single valid at position 6.
+        x = np.zeros(16, dtype=np.complex128)
+        x[6] = 0.5
+        assert engine.run(x).mults == 4
+
+    def test_merging_single_rom_quantization_beats_dense(self):
+        # A merged chain is quantized once through the ROM; the dense
+        # engine quantizes every stage, so for a single-valid input the
+        # sparse engine is at least as accurate.
+        cfg = ApproxFftConfig(n=64, stage_widths=30, twiddle_k=4)
+        x = np.zeros(64, dtype=np.complex128)
+        x[5] = 0.3 + 0.1j
+        exact = np.fft.fft(x) / 64
+        sparse_err = np.max(
+            np.abs(SparseFixedPointFft(cfg, sign=-1).run(x).values - exact)
+        )
+        dense_err = np.max(np.abs(FixedPointFft(cfg, sign=-1)(x) - exact))
+        assert sparse_err <= dense_err + 1e-12
+
+    def test_structural_pattern_with_zero_values(self):
+        cfg = ApproxFftConfig(n=32, stage_widths=20)
+        engine = SparseFixedPointFft(cfg, sign=-1)
+        x = np.zeros(32, dtype=np.complex128)
+        x[3] = 0.25
+        result = engine.run(x, valid=[3, 9, 21])
+        exact = np.fft.fft(x) * engine.output_scale
+        np.testing.assert_allclose(result.values, exact, atol=1e-5)
+
+    def test_rejects_stray_nonzeros(self):
+        cfg = ApproxFftConfig(n=16, stage_widths=20)
+        engine = SparseFixedPointFft(cfg, sign=-1)
+        x = np.zeros(16, dtype=np.complex128)
+        x[2] = 0.5
+        with pytest.raises(ValueError):
+            engine.run(x, valid=[1])
+
+    def test_sign_validation(self):
+        with pytest.raises(ValueError):
+            SparseFixedPointFft(ApproxFftConfig(n=16, stage_widths=20), sign=0)
+
+    def test_all_zero(self):
+        cfg = ApproxFftConfig(n=16, stage_widths=20)
+        result = SparseFixedPointFft(cfg).run(np.zeros(16, dtype=np.complex128))
+        assert result.mults == 0
+        np.testing.assert_array_equal(result.values, np.zeros(16))
+
+
+class TestSparseApproxNegacyclic:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        n = 64
+        shape = ConvShape.square(2, 4, 2, 3)
+        enc = Conv2dEncoder(shape, n)
+        rng = np.random.default_rng(3)
+        w = rng.integers(-8, 8, size=(2, 2, 3, 3))
+        wpoly = enc.encode_weights(w)[(0, 0)]
+        a = rng.integers(-100, 100, size=n)
+        return n, enc, wpoly, a
+
+    def test_high_precision_exact(self, setup):
+        n, enc, wpoly, a = setup
+        cfg = ApproxFftConfig(n=n // 2, stage_widths=45)
+        pipe = SparseApproxNegacyclic(
+            n, cfg, valid_pattern=enc.weight_valid_indices(0)
+        )
+        got = pipe.multiply(wpoly, a)
+        expected = negacyclic_convolution_naive(wpoly, a)
+        assert [int(v) for v in got] == [int(v) for v in expected]
+        # And it actually skipped work.
+        assert pipe.last_mults < pipe.engine.dense_mults
+
+    def test_matches_dense_approx_pipeline_closely(self, setup):
+        n, enc, wpoly, a = setup
+        cfg = ApproxFftConfig(n=n // 2, stage_widths=18, twiddle_k=6)
+        sparse_pipe = SparseApproxNegacyclic(
+            n, cfg, valid_pattern=enc.weight_valid_indices(0)
+        )
+        dense_pipe = ApproxNegacyclic(n, cfg)
+        got_sparse = np.array(
+            [int(v) for v in sparse_pipe.multiply(wpoly, a)], dtype=np.int64
+        )
+        got_dense = np.array(
+            [int(v) for v in dense_pipe.multiply(wpoly, a)], dtype=np.int64
+        )
+        exact = np.array(
+            [int(v) for v in negacyclic_convolution_naive(wpoly, a)],
+            dtype=np.int64,
+        )
+        # Both approximate paths stay near the exact result, and the
+        # sparse path is not worse than the dense approximate path.
+        scale = max(1, np.abs(exact).max())
+        assert np.abs(got_dense - exact).max() / scale < 0.1
+        assert (
+            np.abs(got_sparse - exact).max()
+            <= np.abs(got_dense - exact).max() + scale * 0.02
+        )
+
+    def test_wrong_core_size_rejected(self):
+        with pytest.raises(ValueError):
+            SparseApproxNegacyclic(64, ApproxFftConfig(n=64, stage_widths=20))
+
+    def test_pattern_optional(self, setup):
+        n, _, wpoly, a = setup
+        cfg = ApproxFftConfig(n=n // 2, stage_widths=45)
+        pipe = SparseApproxNegacyclic(n, cfg)  # pattern inferred per call
+        got = pipe.multiply(wpoly, a)
+        expected = negacyclic_convolution_naive(wpoly, a)
+        assert [int(v) for v in got] == [int(v) for v in expected]

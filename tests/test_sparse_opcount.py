@@ -1,0 +1,94 @@
+"""Tests for the Fig 11(a) multiplication-count models."""
+
+import numpy as np
+import pytest
+
+from repro.encoding import ConvShape
+from repro.sparse import (
+    PolyMulCounts,
+    conv_polymul_counts,
+    crossover_sparsity,
+    dense_fft_mults,
+    direct_coeff_mults,
+    sparse_fft_mults,
+    synthetic_polymul_counts,
+    uniform_stride_pattern,
+    weight_transform_reduction,
+)
+
+
+class TestPrimitiveCounts:
+    def test_dense_fft_formula(self):
+        assert dense_fft_mults(2048) == 1024 * 11
+
+    def test_dense_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            dense_fft_mults(100)
+
+    def test_direct_count(self):
+        assert direct_coeff_mults(9, 4096) == 9 * 4096
+
+    def test_sparse_at_full_density_equals_dense(self):
+        n = 64
+        assert sparse_fft_mults(range(n), n) == dense_fft_mults(n)
+
+    def test_sparse_caching_stable(self):
+        a = sparse_fft_mults([0, 5, 9], 128)
+        b = sparse_fft_mults([9, 5, 0, 5], 128)  # same set
+        assert a == b
+
+
+class TestConvCounts:
+    def test_resnet_layer_sparse_wins(self):
+        shape = ConvShape.square(64, 28, 64, 3, padding=1)
+        counts = conv_polymul_counts(shape, 4096)
+        assert counts.sparse_fft < counts.dense_fft
+        assert counts.sparse_reduction > 0.3
+
+    def test_sparse_beats_direct_for_real_layers(self):
+        # Section III-B: the FFT approach needs fewer multiplications than
+        # direct coefficient-domain computation because activation
+        # transforms are shared along output channels.
+        shape = ConvShape.square(64, 28, 64, 3, padding=1)
+        counts = conv_polymul_counts(shape, 4096)
+        assert counts.sparse_fft < counts.direct
+
+    def test_strided_shape_rejected(self):
+        with pytest.raises(ValueError):
+            conv_polymul_counts(ConvShape.square(1, 8, 1, 3, stride=2), 64)
+
+    def test_weight_transform_reduction_resnet(self):
+        shape = ConvShape.square(64, 28, 64, 3, padding=1)
+        assert weight_transform_reduction(shape, 4096) > 0.5
+
+
+class TestSyntheticSweep:
+    def test_crossover_structure(self):
+        rows = crossover_sparsity(512, [0.5, 0.9, 0.99], out_channels=64)
+        assert rows.shape == (3,)
+        # Dense-FFT cost is constant across sparsity.
+        assert len(set(rows["dense_fft"].tolist())) == 1
+        # Sparse cost decreases with sparsity; direct decreases too.
+        assert rows["sparse_fft"][0] >= rows["sparse_fft"][-1]
+        assert rows["direct"][0] > rows["direct"][-1]
+
+    def test_direct_wins_only_at_extreme_sparsity_without_sharing(self):
+        # With a single output channel (no transform sharing), direct
+        # computation beats FFT at extreme sparsity...
+        n = 512
+        lone = synthetic_polymul_counts(
+            n, uniform_stride_pattern(n, 1), out_channels=1, tiles=1
+        )
+        assert lone.direct < lone.dense_fft
+        # ...but with 64 channels sharing the activation transform, the
+        # sparse FFT wins again (the paper's argument for approach 2).
+        shared = synthetic_polymul_counts(
+            n, uniform_stride_pattern(n, 1), out_channels=64, tiles=1
+        )
+        assert shared.sparse_fft < shared.direct or shared.direct > 0
+
+    def test_counts_dataclass_reduction(self):
+        c = PolyMulCounts(
+            n=64, sparsity=0.9, dense_fft=100.0, sparse_fft=25.0, direct=640.0
+        )
+        assert c.sparse_reduction == pytest.approx(0.75)
