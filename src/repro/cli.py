@@ -8,11 +8,13 @@ Usage::
     python -m repro dse --layer 41 --budget 60
     python -m repro profile               # Figure 1
     python -m repro demo                  # one private convolution
+    python -m repro lint src/repro        # domain-aware static analysis
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -215,6 +217,67 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        all_rules,
+        analyze_default_configs,
+        get_rule,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  [{rule.severity.value}]  {rule.description}")
+        print(
+            "BW001   [error]  approximate-FFT stage whose worst-case "
+            "intermediate exceeds its register width (bit-width analyzer)"
+        )
+        return 0
+
+    rules = None
+    if args.select:
+        try:
+            rules = [get_rule(rid) for rid in args.select.split(",") if rid]
+        except KeyError as exc:
+            print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        for p in missing:
+            print(f"repro lint: no such path: {p}", file=sys.stderr)
+        return 2
+    result = lint_paths(args.paths, rules=rules)
+
+    bitwidth_reports = {}
+    if not args.no_bitwidth:
+        bitwidth_reports = analyze_default_configs(include_space=args.space)
+        # Only the deployed default gates the run; DSE-space corners are
+        # informational (the space intentionally contains bad points).
+        result.findings.extend(bitwidth_reports["flash-default"].findings())
+
+    if args.format == "json":
+        payload = {
+            label: report.to_dict()
+            for label, report in bitwidth_reports.items()
+        }
+        print(render_json(result, bitwidth=payload or None))
+    else:
+        summary = None
+        if bitwidth_reports:
+            lines = [
+                f"bitwidth {label}: "
+                f"{'ok' if report.ok else 'OVERFLOW'} "
+                f"(margin {report.margin_bits:+.4f}b)"
+                for label, report in sorted(bitwidth_reports.items())
+            ]
+            summary = "\n".join(lines)
+        print(render_text(result, bitwidth_summary=summary))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -254,6 +317,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("demo", help="run one private convolution")
     p.add_argument("--seed", type=int, default=7)
 
+    p = sub.add_parser(
+        "lint", help="domain-aware static analysis (MOD/DTYPE/HYG/BW rules)"
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format",
+    )
+    p.add_argument(
+        "--select", default="",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    p.add_argument(
+        "--no-bitwidth", action="store_true",
+        help="skip the bit-width dataflow check of the default datapath",
+    )
+    p.add_argument(
+        "--space", action="store_true",
+        help="also report bit-width margins at the DSE search-space corners",
+    )
+
     return parser
 
 
@@ -265,6 +355,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "demo": _cmd_demo,
     "report": _cmd_report,
+    "lint": _cmd_lint,
 }
 
 

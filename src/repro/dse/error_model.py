@@ -158,6 +158,8 @@ def monte_carlo_hconv_error(
     w_spec = pipe.weight_forward(weight_poly)
     errors = []
     for _ in range(trials):
+        # repro-lint: disable=DTYPE001  sampled activations are bounded by
+        # activation_range (a few bits), far below float64's 2**53 mantissa
         a = rng.integers(
             -activation_range, activation_range, size=poly_n
         ).astype(np.float64)

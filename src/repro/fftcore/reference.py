@@ -46,6 +46,7 @@ def twiddle_exponent(n: int, stage: int, j: int) -> int:
     summed exponent as its ROM address.
     """
     m = 1 << stage
+    # repro-lint: disable=MOD001  scalar Python-int index math, exact
     return (j * (n // m)) % n
 
 

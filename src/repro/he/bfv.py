@@ -132,6 +132,8 @@ class BfvContext:
         delta = self.params.delta
         worst = 0
         for v, mi in zip(phase, m.tolist()):
+            # repro-lint: disable=MOD002  Python big ints with floored
+            # division: the negative difference reduces into [0, q) exactly
             residual = (int(v) - delta * int(mi)) % q
             if residual > q // 2:
                 residual -= q

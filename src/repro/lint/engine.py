@@ -1,0 +1,128 @@
+"""File walking, AST parsing, rule dispatch, and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, RuleContext, all_rules
+from repro.lint.suppress import SuppressionIndex
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed_count += other.suppressed_count
+        self.files_checked += other.files_checked
+        self.parse_errors.extend(other.parse_errors)
+
+
+def module_for_path(path: str) -> str:
+    """Dotted module name inferred from the path.
+
+    The *last* ``repro`` component anchors the package root, so both
+    ``src/repro/ntt/modmath.py`` and lint-test fixtures laid out as
+    ``tests/lint_fixtures/repro/ntt/bad.py`` resolve into the ``repro.*``
+    namespace the scoped rules target.
+    """
+    parts = list(os.path.normpath(os.path.abspath(path)).split(os.sep))
+    stem = os.path.splitext(parts[-1])[0]
+    parts[-1] = stem
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    else:
+        parts = [stem]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _annotate_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git") and not d.startswith(".")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+    return out
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint one source string (the unit every higher entry point uses)."""
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.parse_errors.append(f"{path}:{exc.lineno}: {exc.msg}")
+        return result
+    _annotate_parents(tree)
+    lines = source.splitlines()
+    ctx = RuleContext(
+        path=path,
+        module=module if module is not None else module_for_path(path),
+        tree=tree,
+        lines=lines,
+    )
+    suppressions = SuppressionIndex(lines)
+    active = rules if rules is not None else all_rules()
+    for rule in active:
+        if not rule.applies_to(ctx.module):
+            continue
+        for finding in rule.check(ctx):
+            if suppressions.is_suppressed(finding.rule_id, finding.line):
+                result.suppressed_count += 1
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return result
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> LintResult:
+    """Lint every Python file under ``paths`` with the given (or all) rules."""
+    total = LintResult()
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            total.parse_errors.append(f"{path}: {exc}")
+            continue
+        total.extend(lint_source(source, path=path, rules=rules))
+    return total

@@ -1,0 +1,51 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.lint.engine import LintResult
+
+#: Version of the JSON report schema (bump on breaking changes).
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, bitwidth_summary: Optional[str] = None) -> str:
+    """Human-readable report, one ``path:line:col rule message`` per finding."""
+    lines = []
+    for err in result.parse_errors:
+        lines.append(f"parse error: {err}")
+    for f in result.findings:
+        lines.append(f"{f.location()} {f.severity.value} {f.rule_id} {f.message}")
+    if bitwidth_summary:
+        lines.append(bitwidth_summary)
+    errors = sum(1 for f in result.findings if f.severity.value == "error")
+    warnings = len(result.findings) - errors
+    lines.append(
+        f"{result.files_checked} files checked: {errors} errors, "
+        f"{warnings} warnings, {result.suppressed_count} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, bitwidth: Optional[dict] = None) -> str:
+    """Machine-readable report (stable schema, see docs/static_analysis.md)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "findings": [f.to_dict() for f in result.findings],
+        "counts": {
+            "errors": sum(
+                1 for f in result.findings if f.severity.value == "error"
+            ),
+            "warnings": sum(
+                1 for f in result.findings if f.severity.value == "warning"
+            ),
+            "suppressed": result.suppressed_count,
+        },
+        "parse_errors": list(result.parse_errors),
+    }
+    if bitwidth is not None:
+        payload["bitwidth"] = bitwidth
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,87 @@
+"""Rule base class, per-file context, and the global rule registry."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.findings import Finding, Severity
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may inspect for one file."""
+
+    path: str
+    module: str
+    tree: ast.AST
+    lines: Sequence[str] = field(default_factory=list)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """Syntactic parent of ``node`` (annotated by the engine)."""
+        return getattr(node, "_repro_parent", None)
+
+
+class Rule:
+    """One lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scopes`` restricts the rule to dotted-module prefixes (empty tuple =
+    every file); scoping is what makes the rules *domain-aware*: a raw
+    ``a * b % q`` is idiomatic in generic Python but a landmine inside the
+    modular-arithmetic packages.
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    scopes: Tuple[str, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        if not self.scopes:
+            return True
+        return any(
+            module == scope or module.startswith(scope + ".")
+            for scope in self.scopes
+        )
+
+    def check(self, ctx: RuleContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: RuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (keyed by rule_id)."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by ID."""
+    return [_REGISTRY[rid]() for rid in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id.upper()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,83 @@
+"""Dtype-overflow rule (DTYPE001).
+
+CRT-composed coefficients and polynomial products in this codebase exceed
+``2**53`` for the default ~60-bit ciphertext modulus; a ``float64`` cast
+rounds their low bits away *silently* -- decryption still works at toy
+parameters and corrupts at production ones.  Any cast of modular-domain
+integers to ``float64`` must therefore carry a suppression documenting
+the magnitude bound that makes it safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, RuleContext, register_rule
+
+#: Packages whose integers may be CRT-composed / product values.
+INTEGER_DOMAIN_SCOPES = (
+    "repro.ntt",
+    "repro.he",
+    "repro.nn",
+    "repro.dse",
+    "repro.protocol",
+)
+
+
+def _float64_dtype_arg(node: ast.Call) -> Optional[ast.AST]:
+    """The argument of an ``.astype`` call that names float64, if any."""
+    candidates = list(node.args)
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            candidates.append(kw.value)
+    for arg in candidates:
+        if isinstance(arg, ast.Attribute) and arg.attr == "float64":
+            return arg
+        if isinstance(arg, ast.Name) and arg.id in ("float64", "float"):
+            return arg
+        if isinstance(arg, ast.Constant) and arg.value in ("float64", "float"):
+            return arg
+    return None
+
+
+@register_rule
+class Float64CastRule(Rule):
+    """DTYPE001: ``.astype(np.float64)`` in an integer-domain module.
+
+    float64 has a 53-bit mantissa; CRT-composed values (~60-bit q) and
+    accumulated products lose low bits in the cast.  Casts of values
+    provably below ``2**53`` are fine -- suppress them with the bound as
+    the reason (see ``docs/static_analysis.md``).
+    """
+
+    rule_id = "DTYPE001"
+    severity = Severity.ERROR
+    description = (
+        ".astype(float64) on modular-domain integers; values above 2**53 "
+        "lose low bits silently (suppress with the magnitude bound if safe)"
+    )
+    scopes = INTEGER_DOMAIN_SCOPES
+
+    def check(self, ctx: RuleContext) -> List[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "astype"):
+                continue
+            if _float64_dtype_arg(node) is None:
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    "float64 cast of integer-domain data: values above "
+                    "2**53 lose precision silently; keep CRT/product "
+                    "values integral, or suppress with the magnitude "
+                    "bound that makes this safe",
+                )
+            )
+        return findings

@@ -1,0 +1,96 @@
+"""Hygiene rules (HYG001, HYG002) -- unscoped, apply to every file."""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, RuleContext, register_rule
+
+
+@register_rule
+class SilentExceptRule(Rule):
+    """HYG001: bare ``except:`` or ``except Exception: pass``.
+
+    Swallowing exceptions hides the very overflow/precision failures the
+    MOD/DTYPE rules exist to prevent -- a saturated spectrum or a failed
+    CRT reconstruction must surface, not vanish.
+    """
+
+    rule_id = "HYG001"
+    severity = Severity.WARNING
+    description = "bare `except:` or `except Exception: pass` swallows failures"
+
+    def check(self, ctx: RuleContext) -> List[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    self.finding(
+                        ctx, node,
+                        "bare `except:` catches SystemExit/KeyboardInterrupt "
+                        "too; name the exception type",
+                    )
+                )
+                continue
+            broad = (
+                isinstance(node.type, ast.Name)
+                and node.type.id in ("Exception", "BaseException")
+            )
+            silent = len(node.body) == 1 and isinstance(node.body[0], ast.Pass)
+            if broad and silent:
+                findings.append(
+                    self.finding(
+                        ctx, node,
+                        "`except Exception: pass` silently swallows failures; "
+                        "handle or at least log the error",
+                    )
+                )
+        return findings
+
+
+_MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "OrderedDict")
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """HYG002: mutable default argument values.
+
+    A shared default list/dict/set persists across calls; stateful caches
+    must be explicit (module-level, like ``_NTT_CACHE``), not accidental.
+    """
+
+    rule_id = "HYG002"
+    severity = Severity.WARNING
+    description = "mutable default argument (shared across calls)"
+
+    def check(self, ctx: RuleContext) -> List[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    findings.append(
+                        self.finding(
+                            ctx, default,
+                            f"mutable default in {node.name}(): one instance "
+                            "is shared across every call; default to None "
+                            "and create inside",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_CALLS
+        return False

@@ -1,0 +1,66 @@
+"""Per-line suppression comments.
+
+Syntax::
+
+    x = a * b % q  # repro-lint: disable=MOD001  scalar Python ints, exact
+
+    # repro-lint: disable=DTYPE001  values are < 2**53 by construction
+    y = arr.astype(np.float64)
+
+A suppression on a code line covers findings reported on that line; a
+suppression on a standalone comment line covers the next non-comment
+line (so the justification may continue over several comment lines).
+``disable=all`` (or ``disable=*``) suppresses every rule.  Free text after
+the rule list documents *why* the pattern is safe -- reviewers should
+treat a bare suppression with no reason as a smell.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Sequence, Set
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_*,]+)")
+
+#: Sentinel rule name matching every rule.
+ALL = "all"
+
+
+class SuppressionIndex:
+    """Maps line numbers to the set of rule IDs suppressed there."""
+
+    def __init__(self, lines: Sequence[str]):
+        self._by_line: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            match = _DIRECTIVE.search(text)
+            if not match:
+                continue
+            rules = {
+                token.strip().upper() if token.strip() != "*" else ALL.upper()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+            rules = {ALL if r in ("ALL", "*") else r for r in rules}
+            self._add(lineno, rules)
+            if text.lstrip().startswith("#"):
+                # Standalone comment: also covers the next non-comment line,
+                # so the justification may span several comment lines.
+                target = lineno + 1
+                while (
+                    target <= len(lines)
+                    and lines[target - 1].lstrip().startswith("#")
+                ):
+                    target += 1
+                self._add(target, rules)
+
+    def _add(self, lineno: int, rules: Set[str]) -> None:
+        self._by_line.setdefault(lineno, set()).update(rules)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self._by_line.get(line)
+        if not rules:
+            return False
+        return ALL in rules or rule_id.upper() in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)

@@ -83,6 +83,8 @@ def kernel_perturbation_rel(
     ))
     w_eff = effective_kernel(w, shape, n, config)
     dw = w_eff - w
+    # repro-lint: disable=DTYPE001  quantized weights are weight_bits-bit
+    # signed ints (|w| < 2**7 for W8), far below float64's 2**53 mantissa
     signal = float(np.sqrt(np.mean(w.astype(np.float64) ** 2)))
     if signal == 0.0:
         return 0.0

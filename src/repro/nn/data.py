@@ -59,6 +59,8 @@ def make_synthetic_dataset(
     if num_classes < 2:
         raise ValueError("need at least 2 classes")
     rng = np.random.default_rng(seed)
+    # repro-lint: disable=DTYPE001  pixel-grid coordinates (< size <= 2**10),
+    # not modular-domain values
     yy, xx = np.mgrid[0:size, 0:size].astype(np.float64) / size
 
     prototypes = []

@@ -284,6 +284,8 @@ class QuantizedCnn:
         scale than the branch output; a fixed-point multiplier (TFLite
         style) aligns them before the add.
         """
+        # repro-lint: disable=DTYPE001  skip activations are a_bits-quantized
+        # accumulator ints (< 2**32), far below float64's 2**53 mantissa
         aligned = np.rint(skip.astype(np.float64) * info["multiplier"]).astype(
             np.int64
         )

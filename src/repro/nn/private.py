@@ -75,6 +75,9 @@ class SharedPolyMulSimulator:
         w_spec = self._weight_spectrum(w)
         out = np.zeros(self.n, dtype=np.int64)
         for share in (centered_c, centered_s):
+            # repro-lint: disable=DTYPE001  centered shares are bounded by
+            # t/2 = 2**(share_bits-1) <= 2**40 for Cheetah-class sharing
+            # rings, below float64's 2**53 mantissa
             spec = self.pipeline.activation_forward(share.astype(np.float64))
             product = self.pipeline.multiply_spectra(w_spec, spec)
             out = (out + np.rint(product).astype(np.int64)) % t
@@ -198,6 +201,8 @@ def hconv_output_error_variance(
         half = t >> 1
         exact = np.where(exact >= half, exact - t, exact)
         diff = (approx - exact) % t
+        # repro-lint: disable=DTYPE001  centered differences are bounded by
+        # t/2 = 2**(share_bits-1) <= 2**40, below float64's 2**53 mantissa
         diff = np.where(diff >= half, diff - t, diff).astype(np.float64)
         errors.append(diff)
     return float(np.var(np.concatenate(errors)))

@@ -57,8 +57,10 @@ class MergedNtt:
         for i in range(n):
             powers[i] = acc
             inv_powers[i] = acc_inv
+            # repro-lint: disable=MOD001  scalar Python-int accumulation is
+            # arbitrary-precision, hence exact for any modulus width
             acc = acc * psi % q
-            acc_inv = acc_inv * psi_inv % q
+            acc_inv = acc_inv * psi_inv % q  # repro-lint: disable=MOD001  same
         rev = bit_reverse_indices(n)
         self._psi_br = powers[rev]
         self._psi_inv_br = inv_powers[rev]

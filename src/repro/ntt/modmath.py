@@ -62,6 +62,8 @@ def mulmod(a, b, q: int):
     b = np.asarray(b, dtype=np.uint64)
     b_hi = b >> _U64(SPLIT_BITS)
     b_lo = b & _SPLIT_MASK
+    # repro-lint: disable=MOD001  this IS the split kernel: b_hi < 2**20 and
+    # q < 2**40 keep a * b_hi below 2**60, inside uint64
     hi = (a * b_hi) % qa
     return ((hi << _U64(SPLIT_BITS)) + a * b_lo) % qa
 
@@ -151,7 +153,7 @@ def is_prime(n: int) -> bool:
         if x in (1, n - 1):
             continue
         for _ in range(r - 1):
-            x = x * x % n
+            x = x * x % n  # repro-lint: disable=MOD001  Python ints, exact
             if x == n - 1:
                 break
         else:

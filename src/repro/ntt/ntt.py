@@ -49,7 +49,7 @@ class NegacyclicNtt:
         self.stages = n.bit_length() - 1
 
         psi = root_of_unity(2 * n, q)
-        omega = psi * psi % q
+        omega = powmod(psi, 2, q)
         self._psi_pows = self._power_table(psi, n)
         self._psi_inv_pows = self._power_table(invmod(psi, q), n)
         self._omega_pows = self._power_table(omega, n)
@@ -62,6 +62,8 @@ class NegacyclicNtt:
         acc = 1
         for i in range(count):
             powers[i] = acc
+            # repro-lint: disable=MOD001  scalar Python-int accumulation is
+            # arbitrary-precision, hence exact for any modulus width
             acc = acc * base % self.q
         return powers
 

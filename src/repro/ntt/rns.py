@@ -102,6 +102,8 @@ class RnsBasis:
         ):
             res_list = [int(v) for v in np.asarray(res, dtype=np.uint64).tolist()]
             for i, r in enumerate(res_list):
+                # repro-lint: disable=MOD001  CRT recombination on Python
+                # big ints (q exceeds 64 bits by design); exact
                 values[i] += (r * q_hat_inv % p) * q_hat
         q = self.modulus
         return np.array([v % q for v in values], dtype=object)

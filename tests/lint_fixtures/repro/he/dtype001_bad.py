@@ -1,0 +1,7 @@
+"""Fixture: float64 cast of modular-domain integers."""
+
+import numpy as np
+
+
+def lift(values):
+    return values.astype(np.float64)

@@ -1,0 +1,13 @@
+"""Fixture: patterns the exemption heuristics must NOT flag."""
+
+
+def validate(q, n):
+    # Divisibility test on scalar parameters (comparison context).
+    if (q - 1) % (2 * n) != 0:
+        raise ValueError("not NTT friendly")
+    return True
+
+
+def crt_term(v, inv, p):
+    # Pure Python-int expression: int() calls mark exact big-int math.
+    return (int(v) * int(inv)) % int(p)

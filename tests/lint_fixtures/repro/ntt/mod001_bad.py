@@ -1,0 +1,5 @@
+"""Fixture: raw modular product on (potentially) array operands."""
+
+
+def scale(a, b, q):
+    return (a * b) % q

@@ -1,0 +1,5 @@
+"""Fixture: modular reduction of a possibly-negative difference."""
+
+
+def center_delta(a, b, q):
+    return (a - b) % q

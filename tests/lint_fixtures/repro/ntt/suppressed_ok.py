@@ -1,0 +1,13 @@
+"""Fixture: violations silenced by suppression comments (must lint clean)."""
+
+import numpy as np
+
+
+def scale(a, b, q):
+    return (a * b) % q  # repro-lint: disable=MOD001  fixture: same-line form
+
+
+def lift(values):
+    # repro-lint: disable=DTYPE001  fixture: standalone comment form, with
+    # a justification that continues onto a second comment line
+    return values.astype(np.float64)

@@ -1,0 +1,113 @@
+"""Tests for the bit-width dataflow analyzer (repro.lint.bitwidth)."""
+
+import pytest
+
+from repro.core.config import FlashConfig
+from repro.dse.space import DesignSpace
+from repro.fftcore.fixed_point import ApproxFftConfig
+from repro.lint.bitwidth import (
+    GUARD_TOLERANCE_BITS,
+    analyze_design_space,
+    analyze_fft_config,
+)
+
+
+def config(n=256, dw=27, k=5, max_shift=16, **kw):
+    return ApproxFftConfig(
+        n=n, stage_widths=dw, twiddle_k=k, twiddle_max_shift=max_shift, **kw
+    )
+
+
+class TestDefaultDatapath:
+    def test_flash_default_is_overflow_free(self):
+        """The deployed FlashConfig datapath must verify clean."""
+        report = analyze_fft_config(
+            FlashConfig().weight_fft_config(), label="flash-default"
+        )
+        assert report.ok
+        assert report.findings() == []
+        assert report.margin_bits > 0
+
+    def test_exact_twiddles_no_growth(self):
+        """With exact twiddles the halved butterflies never gain magnitude."""
+        report = analyze_fft_config(config(k=0))
+        assert report.ok
+        assert all(s.twiddle_gain == 1.0 for s in report.stages)
+        # Only rounding bumps remain: tiny at 27-bit registers.
+        assert report.worst_overshoot_bits < 1e-6
+
+
+class TestUnderBudgetedConfig:
+    def test_narrow_registers_overflow(self):
+        """4-bit registers with k=2 twiddles blow the magnitude budget."""
+        report = analyze_fft_config(config(dw=4, k=2), label="bad")
+        assert not report.ok
+        assert report.worst_overshoot_bits > GUARD_TOLERANCE_BITS
+        findings = report.findings()
+        assert findings and all(f.rule_id == "BW001" for f in findings)
+        assert findings[0].path == "bad"
+        assert "register range" in findings[0].message
+
+    def test_overflow_localized_to_stages(self):
+        """Early stages may be fine; the report names the failing ones."""
+        report = analyze_fft_config(config(dw=4, k=2))
+        flagged = [s.stage for s in report.stages if not s.ok]
+        assert flagged
+        assert flagged == list(range(flagged[0], report.config.stages + 1))
+
+    def test_monotone_in_width(self):
+        """Widening every register never shrinks the safety margin."""
+        margins = [
+            analyze_fft_config(config(dw=dw, k=2)).margin_bits
+            for dw in (4, 8, 16, 27)
+        ]
+        assert margins == sorted(margins)
+
+    def test_monotone_in_twiddle_level(self):
+        """Raising the twiddle quantization level k shrinks the gain."""
+        worst = [
+            max(s.twiddle_gain for s in analyze_fft_config(config(k=k)).stages)
+            for k in (2, 5, 18)
+        ]
+        assert worst == sorted(worst, reverse=True)
+
+
+class TestStageAccounting:
+    def test_stage_count_and_widths(self):
+        widths = [8, 10, 12, 14, 16, 18, 20, 22]
+        report = analyze_fft_config(config(n=256, dw=widths, k=0))
+        assert [s.stage for s in report.stages] == list(range(1, 9))
+        assert [s.width for s in report.stages] == widths
+
+    def test_butterfly_add_is_one_bit(self):
+        """The pre-halving intermediate carries the +1-bit butterfly add."""
+        report = analyze_fft_config(config(k=0))
+        for s in report.stages:
+            assert s.add_bound == pytest.approx(2.0 * s.input_bound)
+
+    def test_to_dict_roundtrip(self):
+        report = analyze_fft_config(config(dw=4, k=2), label="bad")
+        payload = report.to_dict()
+        assert payload["label"] == "bad"
+        assert payload["ok"] is False
+        assert len(payload["stages"]) == report.config.stages
+        assert payload["worst_overshoot_bits"] == report.worst_overshoot_bits
+
+    def test_describe_mentions_overflow(self):
+        report = analyze_fft_config(config(dw=4, k=2))
+        assert "OVERFLOW" in report.describe()
+
+
+class TestDesignSpace:
+    def test_corner_reports(self):
+        space = DesignSpace(stages=8)
+        reports = analyze_design_space(space, n=256)
+        assert len(reports) == 4
+        worst = reports["dse-corner:min_w=8,min_k=2"]
+        best = reports["dse-corner:max_w=39,max_k=18"]
+        assert best.margin_bits > worst.margin_bits
+        assert best.ok
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_design_space(DesignSpace(stages=8), n=512)

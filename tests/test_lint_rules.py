@@ -1,0 +1,185 @@
+"""Tests for the repro.lint rule engine, suppressions, reporters, and CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    module_for_path,
+    render_json,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+SRC_REPRO = os.path.join(os.path.dirname(HERE), "src", "repro")
+
+
+def fixture(*parts) -> str:
+    return os.path.join(FIXTURES, *parts)
+
+
+class TestRuleRegistry:
+    def test_all_rules_registered(self):
+        ids = sorted(rule.rule_id for rule in all_rules())
+        assert ids == ["DTYPE001", "HYG001", "HYG002", "MOD001", "MOD002"]
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(KeyError):
+            get_rule("NOPE999")
+
+
+class TestEachRuleFiresExactlyOnce:
+    """Every bad-snippet fixture yields exactly its own rule, once."""
+
+    @pytest.mark.parametrize(
+        "path, rule_id",
+        [
+            (fixture("repro", "ntt", "mod001_bad.py"), "MOD001"),
+            (fixture("repro", "ntt", "mod002_bad.py"), "MOD002"),
+            (fixture("repro", "he", "dtype001_bad.py"), "DTYPE001"),
+            (fixture("hyg001_bad.py"), "HYG001"),
+            (fixture("hyg002_bad.py"), "HYG002"),
+        ],
+    )
+    def test_fixture_fires_once(self, path, rule_id):
+        result = lint_paths([path])
+        assert [f.rule_id for f in result.findings] == [rule_id]
+        finding = result.findings[0]
+        assert finding.path == path
+        assert finding.line > 0 and finding.col > 0
+
+    def test_clean_fixture_is_clean(self):
+        result = lint_paths([fixture("repro", "ntt", "clean.py")])
+        assert result.findings == []
+        assert result.suppressed_count == 0
+
+    def test_fixture_directory_fails_overall(self):
+        result = lint_paths([FIXTURES])
+        assert not result.ok
+        assert len(result.findings) == 5
+
+
+class TestScoping:
+    MOD_SOURCE = "def f(a, b, q):\n    return (a * b) % q\n"
+
+    def test_modular_scope_applies(self):
+        result = lint_source(self.MOD_SOURCE, module="repro.ntt.kernel")
+        assert [f.rule_id for f in result.findings] == ["MOD001"]
+
+    def test_out_of_scope_module_ignored(self):
+        result = lint_source(self.MOD_SOURCE, module="repro.analysis.report")
+        assert result.findings == []
+
+    def test_module_for_path_src_layout(self):
+        assert module_for_path("src/repro/ntt/modmath.py") == "repro.ntt.modmath"
+        assert module_for_path("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_module_for_path_fixture_layout(self):
+        mod = module_for_path(fixture("repro", "ntt", "mod001_bad.py"))
+        assert mod == "repro.ntt.mod001_bad"
+
+    def test_divisibility_test_exempt(self):
+        src = "def f(q, n):\n    return (q - 1) % (2 * n) == 0\n"
+        assert lint_source(src, module="repro.ntt.x").findings == []
+
+    def test_python_int_expression_exempt(self):
+        src = "def f(v, w, p):\n    return (int(v) * int(w)) % p\n"
+        assert lint_source(src, module="repro.he.x").findings == []
+
+
+class TestSuppression:
+    def test_suppressed_fixture_is_clean_and_counted(self):
+        result = lint_paths([fixture("repro", "ntt", "suppressed_ok.py")])
+        assert result.findings == []
+        assert result.suppressed_count == 2
+
+    def test_same_line_suppression(self):
+        src = "def f(a, b, q):\n    return (a * b) % q  # repro-lint: disable=MOD001\n"
+        result = lint_source(src, module="repro.ntt.x")
+        assert result.findings == [] and result.suppressed_count == 1
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = "def f(a, b, q):\n    return (a * b) % q  # repro-lint: disable=MOD002\n"
+        result = lint_source(src, module="repro.ntt.x")
+        assert [f.rule_id for f in result.findings] == ["MOD001"]
+
+    def test_disable_all(self):
+        src = "def f(a, b, q):\n    return (a * b) % q  # repro-lint: disable=all\n"
+        result = lint_source(src, module="repro.ntt.x")
+        assert result.findings == [] and result.suppressed_count == 1
+
+    def test_multiline_comment_justification(self):
+        src = (
+            "def f(a, b, q):\n"
+            "    # repro-lint: disable=MOD001  reason starts here\n"
+            "    # and continues on a second comment line\n"
+            "    return (a * b) % q\n"
+        )
+        result = lint_source(src, module="repro.ntt.x")
+        assert result.findings == [] and result.suppressed_count == 1
+
+
+class TestReporters:
+    def test_json_schema(self):
+        result = lint_paths([FIXTURES])
+        payload = json.loads(render_json(result))
+        assert payload["version"] == 1
+        assert payload["files_checked"] == result.files_checked
+        assert payload["counts"]["errors"] == 3
+        assert payload["counts"]["warnings"] == 2
+        assert payload["counts"]["suppressed"] == 2
+        assert payload["parse_errors"] == []
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule", "severity", "path", "line", "col", "message",
+            }
+            assert finding["severity"] in ("error", "warning")
+
+    def test_json_includes_bitwidth_when_given(self):
+        result = lint_paths([fixture("repro", "ntt", "clean.py")])
+        payload = json.loads(render_json(result, bitwidth={"x": {"ok": True}}))
+        assert payload["bitwidth"] == {"x": {"ok": True}}
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_not_raised(self):
+        result = lint_source("def broken(:\n", path="bad.py")
+        assert not result.ok
+        assert result.findings == []
+        assert "bad.py" in result.parse_errors[0]
+
+
+class TestCli:
+    def test_lint_cli_clean_on_src(self):
+        assert main(["lint", SRC_REPRO, "--no-bitwidth"]) == 0
+
+    def test_lint_cli_fails_on_fixtures(self, capsys):
+        assert main(["lint", FIXTURES, "--no-bitwidth"]) == 1
+        out = capsys.readouterr().out
+        assert "MOD001" in out and "HYG002" in out
+
+    def test_lint_cli_select(self):
+        # Only HYG rules selected: MOD/DTYPE fixtures stop failing the run.
+        assert main([
+            "lint", fixture("repro", "ntt", "mod001_bad.py"),
+            "--select", "HYG001,HYG002", "--no-bitwidth",
+        ]) == 0
+
+    def test_lint_cli_json(self, capsys):
+        code = main(["lint", FIXTURES, "--format", "json", "--no-bitwidth"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["errors"] == 3
+
+    def test_lint_cli_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("MOD001", "MOD002", "DTYPE001", "HYG001", "HYG002",
+                        "BW001"):
+            assert rule_id in out

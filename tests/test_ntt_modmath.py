@@ -10,6 +10,16 @@ from repro.ntt import modmath
 
 PRIME_39 = modmath.find_ntt_primes(39, 4096)[0]
 PRIME_30 = modmath.find_ntt_primes(30, 4096)[0]
+# The largest supported modulus class: a full 40-bit NTT prime.  This is
+# the boundary the MOD001 lint rule protects -- the 20-bit split of mulmod
+# needs q * 2**20 < 2**63, which holds up to exactly MAX_MODULUS_BITS.
+PRIME_40 = modmath.find_ntt_primes(modmath.MAX_MODULUS_BITS, 4096)[0]
+
+# Operands clustered at the dangerous end of the range: near q-1 the raw
+# product approaches q**2 ~ 2**80, far beyond uint64.
+_near_top = st.integers(min_value=PRIME_40 - 4096, max_value=PRIME_40 - 1)
+_full_range = st.integers(min_value=0, max_value=PRIME_40 - 1)
+_boundary = st.one_of(_near_top, _full_range)
 
 
 class TestMulmod:
@@ -76,6 +86,75 @@ class TestAddSubNeg:
         q = 97
         out = modmath.submod(np.array([1], dtype=np.uint64), 5, q)
         assert int(out[0]) == 93
+
+
+class TestBoundaryModuli:
+    """Property tests at the 40-bit modulus boundary.
+
+    These encode the invariants the ``repro lint`` MOD rules protect: the
+    vectorized kernels must agree with exact Python-int arithmetic for the
+    *largest* supported modulus and operands pushed against ``q - 1``,
+    where a raw ``a * b % q`` on uint64 wraps and silently corrupts.
+    """
+
+    def test_prime_is_at_the_bit_limit(self):
+        assert PRIME_40.bit_length() == modmath.MAX_MODULUS_BITS
+        # The split-safety preconditions documented in modmath.
+        assert PRIME_40 << modmath.SPLIT_BITS < 1 << 63
+        assert PRIME_40**2 >> modmath.SPLIT_BITS < 1 << 63
+
+    @given(a=_boundary, b=_boundary)
+    @settings(max_examples=300, deadline=None)
+    def test_mulmod_exact_at_40_bits(self, a, b):
+        out = modmath.mulmod(np.array([a], dtype=np.uint64), b, PRIME_40)
+        assert int(out[0]) == a * b % PRIME_40
+
+    @given(a=_near_top, b=_near_top)
+    @settings(max_examples=200, deadline=None)
+    def test_addmod_no_wrap_near_top(self, a, b):
+        out = modmath.addmod(np.array([a], dtype=np.uint64), b, PRIME_40)
+        assert int(out[0]) == (a + b) % PRIME_40
+
+    @given(a=_boundary, b=_boundary)
+    @settings(max_examples=200, deadline=None)
+    def test_submod_stays_unsigned(self, a, b):
+        out = modmath.submod(np.array([a], dtype=np.uint64), b, PRIME_40)
+        assert int(out[0]) == (a - b) % PRIME_40
+
+    @given(base=_boundary, e1=st.integers(0, 1 << 20), e2=st.integers(0, 1 << 20))
+    @settings(max_examples=100, deadline=None)
+    def test_powmod_exponent_law(self, base, e1, e2):
+        q = PRIME_40
+        lhs = modmath.powmod(base, e1 + e2, q)
+        rhs = modmath.mulmod(
+            np.array([modmath.powmod(base, e1, q)], dtype=np.uint64),
+            modmath.powmod(base, e2, q),
+            q,
+        )
+        assert int(rhs[0]) == lhs
+
+    @given(a=_boundary, b=_boundary, c=_boundary)
+    @settings(max_examples=100, deadline=None)
+    def test_mulmod_distributes_over_addmod(self, a, b, c):
+        """c*(a+b) == c*a + c*b (mod q): the butterfly identity chain."""
+        q = PRIME_40
+        cv = np.array([c], dtype=np.uint64)
+        lhs = modmath.mulmod(cv, modmath.addmod(
+            np.array([a], dtype=np.uint64), b, q), q)
+        rhs = modmath.addmod(
+            modmath.mulmod(cv, a, q), modmath.mulmod(cv, b, q), q
+        )
+        assert int(lhs[0]) == int(rhs[0])
+
+    def test_wraparound_counterexample_documented(self):
+        """The raw pattern MOD001 bans really does corrupt at 40 bits."""
+        q = PRIME_40
+        a = np.array([q - 1], dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            raw = (a * np.uint64(q - 1)) % np.uint64(q)
+        good = modmath.mulmod(a, q - 1, q)
+        assert int(raw[0]) != int(good[0])
+        assert int(good[0]) == (q - 1) * (q - 1) % q
 
 
 class TestCentered:
