@@ -8,6 +8,7 @@ Usage::
     python -m repro dse --layer 41 --budget 60
     python -m repro profile               # Figure 1
     python -m repro demo                  # one private convolution
+    python -m repro bench-runtime         # batched HConv runtime benchmark
     python -m repro lint src/repro        # domain-aware static analysis
 """
 
@@ -217,6 +218,72 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_runtime(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.core.hconv import hconv_flash, hconv_ntt
+    from repro.encoding import ConvShape
+    from repro.fftcore.fixed_point import ApproxFftConfig
+    from repro.runtime import BatchedHConvEngine
+
+    rng = np.random.default_rng(args.seed)
+    shape = ConvShape.square(
+        args.channels, args.size, args.out_channels, args.kernel,
+        padding=args.kernel // 2,
+    )
+    xs = rng.integers(
+        -8, 8, size=(args.batch, args.channels, args.size, args.size)
+    )
+    w = rng.integers(
+        -8, 8,
+        size=(args.out_channels, args.channels, args.kernel, args.kernel),
+    )
+    cfg = ApproxFftConfig(
+        n=args.n // 2, stage_widths=27, twiddle_k=18, twiddle_max_shift=24
+    )
+    print(
+        f"layer {args.channels}x{args.size}x{args.size} -> "
+        f"{args.out_channels} ch, {args.kernel}x{args.kernel} kernel, "
+        f"n={args.n}, batch={args.batch}, workers={args.workers or 1}"
+    )
+    modes = ["ntt", "flash"] if args.mode == "both" else [args.mode]
+    for mode in modes:
+        engine = BatchedHConvEngine(
+            mode=mode,
+            weight_config=cfg if mode == "flash" else None,
+            max_workers=args.workers,
+        )
+        engine.conv2d_batch(xs[:1], w, shape, args.n)  # warm the plan cache
+        t0 = time.perf_counter()
+        batched = engine.conv2d_batch(xs, w, shape, args.n)
+        batched_s = time.perf_counter() - t0
+
+        per_call = hconv_ntt if mode == "ntt" else (
+            lambda x, w_, s_, n_: hconv_flash(x, w_, s_, n_, cfg)
+        )
+        t0 = time.perf_counter()
+        serial = np.stack(
+            [per_call(x, w, shape, args.n) for x in xs]
+        )
+        serial_s = time.perf_counter() - t0
+
+        print(f"\n=== mode={mode} ===")
+        print(engine.last_stats.describe())
+        match = (
+            "bit-identical"
+            if np.array_equal(batched, serial)
+            else f"MISMATCH (max |diff| {np.abs(batched - serial).max()})"
+        )
+        print(
+            f"  per-call loop {serial_s * 1e3:9.2f} ms   "
+            f"batched {batched_s * 1e3:9.2f} ms   "
+            f"speedup {serial_s / batched_s:.2f}x   [{match}]"
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         all_rules,
@@ -318,6 +385,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
 
     p = sub.add_parser(
+        "bench-runtime",
+        help="batched HConv runtime benchmark (stage timings, cache stats)",
+    )
+    p.add_argument("--mode", choices=["ntt", "flash", "both"], default="both")
+    p.add_argument("--batch", type=int, default=16)
+    p.add_argument("--n", type=int, default=1024)
+    p.add_argument("--channels", type=int, default=8)
+    p.add_argument("--out-channels", type=int, default=8)
+    p.add_argument("--size", type=int, default=16)
+    p.add_argument("--kernel", type=int, default=3)
+    p.add_argument("--workers", type=int, default=0,
+                   help="thread-pool width (0 = serial)")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
         "lint", help="domain-aware static analysis (MOD/DTYPE/HYG/BW rules)"
     )
     p.add_argument(
@@ -355,6 +437,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "demo": _cmd_demo,
     "report": _cmd_report,
+    "bench-runtime": _cmd_bench_runtime,
     "lint": _cmd_lint,
 }
 

@@ -73,6 +73,20 @@ class FlashConfig:
         """Float64 FFT backend (the "FFT (FP)" ablation arm)."""
         return FftPolyMulBackend(weight_config=None)
 
+    def batched_flash_backend(self, max_workers: Optional[int] = None):
+        """Approximate backend with batched ``multiply_many`` support."""
+        from repro.runtime import BatchedFftBackend
+
+        return BatchedFftBackend(
+            weight_config=self.weight_fft_config(), max_workers=max_workers
+        )
+
+    def batched_exact_backend(self, max_workers: Optional[int] = None):
+        """Exact NTT backend with batched ``multiply_many`` support."""
+        from repro.runtime import BatchedNttBackend
+
+        return BatchedNttBackend(max_workers=max_workers)
+
     def describe(self) -> str:
         widths = self.stage_widths or [self.data_width]
         return (

@@ -70,6 +70,7 @@ class Flash:
         self.accelerator = FlashAccelerator(self.config.design)
         self._cham = ChamModel(n=self.config.n)
         self._session = None
+        self._batched_backends: Dict = {}
 
     # ------------------------------------------------------------------
     # Private inference (actual cryptography)
@@ -81,6 +82,18 @@ class Flash:
             self._session = make_session(self.config.params, rng)
         return self._session
 
+    def _batched_backend(self, exact: bool, max_workers: Optional[int]):
+        """Batched backend instance, cached so plan/spectrum caches persist
+        across layer calls (the whole point of the runtime's PlanCache)."""
+        key = ("exact" if exact else "flash", max_workers)
+        if key not in self._batched_backends:
+            self._batched_backends[key] = (
+                self.config.batched_exact_backend(max_workers)
+                if exact
+                else self.config.batched_flash_backend(max_workers)
+            )
+        return self._batched_backends[key]
+
     def private_conv2d(
         self,
         x: np.ndarray,
@@ -88,17 +101,31 @@ class Flash:
         shape: ConvShape,
         rng: np.random.Generator,
         exact: bool = False,
-    ) -> ProtocolResult:
+        batch: bool = False,
+        max_workers: Optional[int] = None,
+    ):
         """Run one private convolution through the hybrid protocol.
 
         Args:
-            x: clear activation (secret-shared internally).
+            x: clear activation (secret-shared internally).  With
+                ``batch=True`` this is a ``B x C x H x W`` stack and one
+                :class:`ProtocolResult` is returned per item.
             w: server weights.
             shape: convolution geometry.
             rng: randomness.
             exact: use the exact NTT backend instead of the approximate
                 FFT (the baseline accelerators' computation).
+            batch: route through the batched runtime
+                (:mod:`repro.runtime`): plans and weight spectra are cached
+                across calls and all transform work runs in vectorized
+                batch passes.  Returns ``List[ProtocolResult]``.
+            max_workers: worker-pool width for the batched runtime
+                (``None`` keeps the deterministic serial fallback).
         """
+        if batch:
+            backend = self._batched_backend(exact, max_workers)
+            protocol = HybridConvProtocol(self.config.params, shape, backend)
+            return protocol.run_batch(x, w, rng, session=self.session(rng))
         backend = (
             self.config.exact_backend() if exact else self.config.flash_backend()
         )

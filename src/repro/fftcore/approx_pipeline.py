@@ -31,6 +31,22 @@ def _next_pow2(x: float) -> float:
     return 2.0 ** int(np.ceil(np.log2(x)))
 
 
+def _next_pow2_rows(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_next_pow2` for positive per-row maxima (>= 1)."""
+    return 2.0 ** np.ceil(np.log2(x))
+
+
+def _row_part_max(folded: np.ndarray) -> np.ndarray:
+    """Per-row ``max(|real|, |imag|, 1)`` of a ``(..., half)`` complex batch."""
+    return np.maximum(
+        np.maximum(
+            np.max(np.abs(folded.real), axis=-1),
+            np.max(np.abs(folded.imag), axis=-1),
+        ),
+        1.0,
+    )
+
+
 @dataclass
 class ApproxSpectrum:
     """A weight spectrum with its normalization bookkeeping."""
@@ -157,6 +173,85 @@ class ApproxNegacyclic:
         out[:half] = c.real
         out[half:] = c.imag
         return out
+
+    # ------------------------------------------------------------------
+    # Batched variants (vectorized over a leading batch axis)
+    # ------------------------------------------------------------------
+    #
+    # Normalization scales are computed per row with the same formula as the
+    # per-call methods and every transform stage is element-wise, so each
+    # batch row is bit-identical to the corresponding per-call result.
+
+    def weight_forward_batch(self, weights) -> ApproxSpectrum:
+        """Batched :meth:`weight_forward` of a ``(B, n)`` weight stack.
+
+        Returns an :class:`ApproxSpectrum` whose ``values`` are ``(B, n/2)``
+        and whose ``scale`` is the ``(B,)`` per-row normalization vector.
+        """
+        weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+        folded = self.base.fold_batch(weights)
+        if self._weight_fft is None:
+            from repro.fftcore.reference import fft_dit_batch
+
+            return ApproxSpectrum(
+                values=fft_dit_batch(folded, sign=+1), scale=1.0
+            )
+        scale = _next_pow2_rows(_row_part_max(folded) * (1.0 + 2.0 ** -20))
+        spectrum = self._weight_fft.batch(folded / scale[:, None])
+        unscaled = spectrum / self._weight_fft.output_scale * scale[:, None]
+        return ApproxSpectrum(values=unscaled, scale=scale)
+
+    def activation_forward_batch(self, activations) -> np.ndarray:
+        """Batched :meth:`activation_forward` of a ``(B, n)`` stack."""
+        activations = np.atleast_2d(np.asarray(activations, dtype=np.float64))
+        if self._activation_fft is None:
+            return self.base.forward_batch(activations)
+        folded = self.base.fold_batch(activations)
+        scale = _next_pow2_rows(_row_part_max(folded) * (1.0 + 2.0 ** -20))
+        spectrum = self._activation_fft.batch(folded / scale[:, None])
+        return spectrum / self._activation_fft.output_scale * scale[:, None]
+
+    def multiply_spectra_batch(self, weight_values, act_spec) -> np.ndarray:
+        """Batched point-wise multiply + inverse; returns ``(B, n)`` floats.
+
+        Args:
+            weight_values: unscaled weight spectra, ``(B, n/2)`` or
+                ``(n/2,)`` (one weight shared across the batch).
+            act_spec: activation spectra, ``(B, n/2)``.
+        """
+        product = np.asarray(weight_values) * np.asarray(act_spec)
+        product = np.atleast_2d(product)
+        if self._inverse_fft is None:
+            return self.base.inverse_batch(product)
+        scale = _next_pow2_rows(_row_part_max(product) * (1.0 + 2.0 ** -20))
+        half = self.n // 2
+        core = self._inverse_fft.batch(product / scale[:, None])
+        core = core / self._inverse_fft.output_scale * scale[:, None]
+        c = core / half * self.base._unfold_twist
+        out = np.empty(product.shape[:-1] + (self.n,), dtype=np.float64)
+        out[..., :half] = c.real
+        out[..., half:] = c.imag
+        return out
+
+    def multiply_batch(self, weights, activations) -> np.ndarray:
+        """Batched full pipeline; returns unrounded ``(B, n)`` float coeffs.
+
+        ``weights`` may be ``(n,)`` (shared across the batch) or ``(B, n)``.
+        Callers round and reduce (see
+        :func:`repro.fftcore.negacyclic.round_to_integers`).
+        """
+        w_spec = self.weight_forward_batch(weights)
+        a_spec = self.activation_forward_batch(activations)
+        return self.multiply_spectra_batch(w_spec.values, a_spec)
+
+    @property
+    def plan_bytes(self) -> int:
+        """Memory held by this pipeline's precomputed tables."""
+        total = self.base.plan_bytes
+        for fft in (self._weight_fft, self._activation_fft, self._inverse_fft):
+            if fft is not None:
+                total += fft.plan_bytes
+        return total
 
     def multiply(self, weight, activation, modulus: int = 0) -> np.ndarray:
         """Full pipeline: approximate weight FFT x exact activation FFT.

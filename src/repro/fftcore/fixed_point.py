@@ -166,6 +166,40 @@ class FixedPointFft:
             out = FxpFormat(cfg.stage_widths[s - 1]).quantize_complex(out)
         return out
 
+    def batch(self, x) -> np.ndarray:
+        """Batched bit-true transform over the last axis of ``(..., n)``.
+
+        Quantization and the scaled butterflies are element-wise, so each
+        row's output is bit-identical to a per-row :meth:`__call__`.
+        """
+        cfg = self.config
+        x = np.asarray(x, dtype=np.complex128)
+        if x.ndim < 1 or x.shape[-1] != cfg.n:
+            raise ValueError(
+                f"batch must have last axis {cfg.n}, got shape {x.shape}"
+            )
+        lead = x.shape[:-1]
+        if cfg.input_width is not None:
+            x = FxpFormat(cfg.input_width).quantize_complex(x)
+        out = x[..., self._rev].reshape(-1).copy()
+        for s in range(1, cfg.stages + 1):
+            m = 1 << s
+            half = m >> 1
+            w = self._stage_tw[s - 1]
+            out = out.reshape(-1, m)
+            lo = out[:, :half].copy()
+            hi = out[:, half:] * w
+            out[:, :half] = (lo + hi) * 0.5
+            out[:, half:] = (lo - hi) * 0.5
+            out = out.reshape(-1)
+            out = FxpFormat(cfg.stage_widths[s - 1]).quantize_complex(out)
+        return out.reshape(lead + (cfg.n,))
+
+    @property
+    def plan_bytes(self) -> int:
+        """Memory held by the precomputed stage twiddle tables."""
+        return self._rev.nbytes + sum(t.nbytes for t in self._stage_tw)
+
     def reference(self, x) -> np.ndarray:
         """Exact (float64) transform with the same scaling, for error studies."""
         from repro.fftcore.reference import fft_dit

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fftcore.reference import fft_dit
+from repro.fftcore.reference import fft_dit, fft_dit_batch
 
 
 def _check_pow2(n: int) -> None:
@@ -122,6 +122,48 @@ class NegacyclicFft:
     def multiply(self, a, b) -> np.ndarray:
         """Negacyclic product of two real vectors (float64, not rounded)."""
         return self.inverse(self.forward(a) * self.forward(b))
+
+    # -- batched variants (vectorized over leading axes) -----------------
+    #
+    # Folding, twisting and the butterfly stages are all element-wise, so
+    # each batch row is bit-identical to the corresponding per-call result.
+
+    def fold_batch(self, a) -> np.ndarray:
+        """Fold ``(..., n)`` real batches into ``(..., n/2)`` twisted complex."""
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim < 1 or a.shape[-1] != self.n:
+            raise ValueError(
+                f"batch must have last axis {self.n}, got shape {a.shape}"
+            )
+        return (
+            a[..., : self.half] + 1j * a[..., self.half:]
+        ) * self._fold_twist
+
+    def forward_batch(self, a) -> np.ndarray:
+        """Batched forward spectra, one vectorized pass over the batch."""
+        return fft_dit_batch(self.fold_batch(a), sign=+1)
+
+    def inverse_batch(self, spectrum) -> np.ndarray:
+        """Recover ``(..., n)`` real coefficient batches from spectra."""
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        if spectrum.ndim < 1 or spectrum.shape[-1] != self.half:
+            raise ValueError(
+                f"batch must have last axis {self.half}, got {spectrum.shape}"
+            )
+        c = fft_dit_batch(spectrum, sign=-1) / self.half * self._unfold_twist
+        out = np.empty(spectrum.shape[:-1] + (self.n,), dtype=np.float64)
+        out[..., : self.half] = c.real
+        out[..., self.half:] = c.imag
+        return out
+
+    def multiply_batch(self, a, b) -> np.ndarray:
+        """Batched negacyclic products; ``b`` broadcasts against ``a``."""
+        return self.inverse_batch(self.forward_batch(a) * self.forward_batch(b))
+
+    @property
+    def plan_bytes(self) -> int:
+        """Memory held by this plan's twist tables."""
+        return self._fold_twist.nbytes + self._unfold_twist.nbytes
 
 
 def negacyclic_multiply_folded(a, b) -> np.ndarray:

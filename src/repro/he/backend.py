@@ -10,13 +10,18 @@ signed small-coefficient weight vector.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.fftcore.approx_pipeline import ApproxNegacyclic, ApproxSpectrum
 from repro.fftcore.fixed_point import ApproxFftConfig
 from repro.he.poly import RingPoly
+
+#: Default byte budget for the bounded weight-spectrum caches.  Generous for
+#: every test/benchmark workload, but finite: the old ad-hoc dict caches
+#: grew without bound across a long-running inference service.
+DEFAULT_SPECTRUM_CACHE_BYTES = 64 << 20
 
 
 class PolyMulBackend:
@@ -47,45 +52,45 @@ class CachedNttBackend(PolyMulBackend):
     Args:
         capacity_bytes: optional cache budget; exceeding it raises
             :class:`MemoryError` (models the paper's infeasibility point).
+            Storage routes through a :class:`repro.runtime.PlanCache` in its
+            ``on_full="error"`` mode.
     """
 
     def __init__(self, capacity_bytes: Optional[int] = None):
+        from repro.runtime.plan_cache import PlanCache
+
         self.capacity_bytes = capacity_bytes
-        self._spectra: Dict[Tuple[int, bytes], list] = {}
-        self.hits = 0
-        self.misses = 0
+        self._spectra = PlanCache(
+            capacity_bytes=capacity_bytes, on_full="error"
+        )
+
+    @property
+    def hits(self) -> int:
+        return self._spectra.hits
+
+    @property
+    def misses(self) -> int:
+        return self._spectra.misses
 
     @property
     def cached_bytes(self) -> int:
         """Memory held by cached NTT-domain weights (8 bytes per word)."""
-        return sum(
-            8 * sum(len(component) for component in spectra)
-            for spectra in self._spectra.values()
-        )
+        return self._spectra.cached_bytes
+
+    def clear_cache(self) -> None:
+        self._spectra.clear()
 
     def _weight_spectra(self, basis, weights: np.ndarray) -> list:
         from repro.ntt.ntt import get_ntt
 
-        key = (basis.n, weights.tobytes())
-        if key in self._spectra:
-            self.hits += 1
-            return self._spectra[key]
-        self.misses += 1
-        residues = basis.to_rns(weights)
-        spectra = [
-            get_ntt(basis.n, prime).forward(component)
-            for prime, component in zip(basis.primes, residues)
-        ]
-        self._spectra[key] = spectra
-        if (
-            self.capacity_bytes is not None
-            and self.cached_bytes > self.capacity_bytes
-        ):
-            raise MemoryError(
-                f"NTT-domain weight cache exceeds {self.capacity_bytes} "
-                "bytes (the Figure 1 memory wall)"
-            )
-        return spectra
+        def build() -> list:
+            residues = basis.to_rns(weights)
+            return [
+                get_ntt(basis.n, prime).forward(component)
+                for prime, component in zip(basis.primes, residues)
+            ]
+
+        return self._spectra.get_or_build((basis.n, weights.tobytes()), build)
 
     def multiply(self, poly: RingPoly, weights: np.ndarray) -> RingPoly:
         from repro.ntt.modmath import mulmod
@@ -119,30 +124,53 @@ class FftPolyMulBackend(PolyMulBackend):
         weight_config: fixed-point configuration for the weight-transform
             butterflies; ``None`` runs the weight path in float64 (the
             "FFT (FP)" ablation arm).
+        spectrum_cache_bytes: LRU byte budget for cached weight spectra
+            (``None`` disables the bound); the cache never exceeds it.
+        plan_cache: optional shared :class:`repro.runtime.PlanCache` for
+            the transform pipelines themselves.
     """
 
-    def __init__(self, weight_config: Optional[ApproxFftConfig] = None):
+    def __init__(
+        self,
+        weight_config: Optional[ApproxFftConfig] = None,
+        spectrum_cache_bytes: Optional[int] = DEFAULT_SPECTRUM_CACHE_BYTES,
+        plan_cache=None,
+    ):
+        from repro.runtime.plan_cache import PlanCache
+
         self.weight_config = weight_config
-        self._pipelines: Dict[int, ApproxNegacyclic] = {}
-        self._spectrum_cache: Dict[Tuple[int, bytes], ApproxSpectrum] = {}
+        self._pipelines = (
+            plan_cache if plan_cache is not None
+            else PlanCache(max_entries=16)
+        )
+        self._spectrum_cache = PlanCache(capacity_bytes=spectrum_cache_bytes)
 
     def pipeline(self, n: int) -> ApproxNegacyclic:
-        if n not in self._pipelines:
-            cfg = self.weight_config
-            if cfg is not None and cfg.n != n // 2:
-                raise ValueError(
-                    f"weight core is {cfg.n}-point but ring needs {n // 2}"
-                )
-            self._pipelines[n] = ApproxNegacyclic(n, cfg)
-        return self._pipelines[n]
+        cfg = self.weight_config
+        if cfg is not None and cfg.n != n // 2:
+            raise ValueError(
+                f"weight core is {cfg.n}-point but ring needs {n // 2}"
+            )
+        from repro.runtime.plan_cache import approx_config_key
+
+        return self._pipelines.get_or_build(
+            ("fft-plan", n, approx_config_key(cfg)),
+            lambda: ApproxNegacyclic(n, cfg),
+        )
 
     def weight_spectrum(self, n: int, weights: np.ndarray) -> ApproxSpectrum:
         """Cached approximate forward transform of a weight polynomial."""
         weights = np.ascontiguousarray(weights, dtype=np.int64)
-        key = (n, weights.tobytes())
-        if key not in self._spectrum_cache:
-            self._spectrum_cache[key] = self.pipeline(n).weight_forward(weights)
-        return self._spectrum_cache[key]
+        pipeline = self.pipeline(n)
+        return self._spectrum_cache.get_or_build(
+            (n, weights.tobytes()),
+            lambda: pipeline.weight_forward(weights),
+        )
+
+    @property
+    def cache_stats(self) -> dict:
+        """Hit/miss/byte statistics of the weight-spectrum cache."""
+        return self._spectrum_cache.stats()
 
     def clear_cache(self) -> None:
         self._spectrum_cache.clear()

@@ -19,7 +19,12 @@ from repro.ntt.modmath import (
     submod,
 )
 from repro.ntt.merged import MergedNtt, get_merged_ntt
-from repro.ntt.ntt import NegacyclicNtt, get_ntt, negacyclic_convolution_naive
+from repro.ntt.ntt import (
+    NegacyclicNtt,
+    NttPlan,
+    get_ntt,
+    negacyclic_convolution_naive,
+)
 from repro.ntt.rns import RnsBasis
 
 __all__ = [
@@ -27,6 +32,7 @@ __all__ = [
     "ModulusError",
     "MergedNtt",
     "NegacyclicNtt",
+    "NttPlan",
     "RnsBasis",
     "addmod",
     "bit_reverse",

@@ -73,9 +73,16 @@ class NegacyclicNtt:
         return self._psi_pows.copy()
 
     def _cyclic(self, a: np.ndarray, omega_pows: np.ndarray) -> np.ndarray:
-        """Iterative DIT cyclic NTT given a table of root powers."""
+        """Iterative DIT cyclic NTT given a table of root powers.
+
+        Accepts any ``(..., n)``-shaped array and transforms the last axis;
+        batched rows see exactly the same element-wise modular operations as
+        single vectors (row-major blocks of ``m <= n`` never straddle rows),
+        so batched results are bit-identical to per-row calls.
+        """
         n, q = self.n, self.q
-        x = np.asarray(a, dtype=np.uint64)[self._rev]
+        lead = np.asarray(a).shape[:-1]
+        x = np.asarray(a, dtype=np.uint64)[..., self._rev].reshape(-1)
         for s in range(1, self.stages + 1):
             m = 1 << s
             half = m >> 1
@@ -87,7 +94,15 @@ class NegacyclicNtt:
             x = np.concatenate(
                 [addmod(lo, hi, q), submod(lo, hi, q)], axis=1
             ).reshape(-1)
-        return x
+        return x.reshape(lead + (n,))
+
+    def _check_last_axis(self, a: np.ndarray, what: str) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64)
+        if a.ndim < 1 or a.shape[-1] != self.n:
+            raise ValueError(
+                f"{what} must have last axis {self.n}, got shape {a.shape}"
+            )
+        return a
 
     def forward(self, a) -> np.ndarray:
         """Negacyclic NTT of coefficient vector ``a`` (residues mod q)."""
@@ -105,9 +120,51 @@ class NegacyclicNtt:
         x = mulmod(x, self._n_inv, self.q)
         return mulmod(x, self._psi_inv_pows, self.q)
 
+    def forward_batch(self, a) -> np.ndarray:
+        """Negacyclic NTT over the last axis of a ``(..., n)`` batch.
+
+        One vectorized pass over the whole batch; each row's result is
+        bit-identical to :meth:`forward` on that row.
+        """
+        a = self._check_last_axis(a, "batch")
+        return self._cyclic(mulmod(a, self._psi_pows, self.q), self._omega_pows)
+
+    def inverse_batch(self, a_hat) -> np.ndarray:
+        """Inverse negacyclic NTT over the last axis of a ``(..., n)`` batch."""
+        a_hat = self._check_last_axis(a_hat, "batch")
+        x = self._cyclic(a_hat, self._omega_inv_pows)
+        x = mulmod(x, self._n_inv, self.q)
+        return mulmod(x, self._psi_inv_pows, self.q)
+
     def multiply(self, a, b) -> np.ndarray:
         """Negacyclic product ``a * b mod (X^n + 1, q)`` via NTT."""
         return self.inverse(mulmod(self.forward(a), self.forward(b), self.q))
+
+    def multiply_batch(self, a, b) -> np.ndarray:
+        """Batched negacyclic products over the last axis.
+
+        Args:
+            a: ``(..., n)`` residues mod q.
+            b: residues broadcastable against ``a`` -- typically ``(n,)``
+                (one weight polynomial shared by the whole batch) or the
+                same shape as ``a``.
+        """
+        spec = mulmod(self.forward_batch(a), self.forward_batch(b), self.q)
+        return self.inverse_batch(spec)
+
+    @property
+    def plan_bytes(self) -> int:
+        """Memory held by this plan's precomputed tables."""
+        return sum(
+            t.nbytes
+            for t in (
+                self._psi_pows,
+                self._psi_inv_pows,
+                self._omega_pows,
+                self._omega_inv_pows,
+                self._rev,
+            )
+        )
 
     def butterfly_count(self) -> int:
         """Butterflies in one dense transform: ``n/2 * log2(n)``.
@@ -116,6 +173,11 @@ class NegacyclicNtt:
         dataflow (Example 4.1 counts trivial twiddles as multiplications).
         """
         return (self.n // 2) * self.stages
+
+
+#: Alias under the name the runtime layer uses: a constructed transform is a
+#: reusable *plan* (twiddle tables + bit-reversal), exactly like an FFTW plan.
+NttPlan = NegacyclicNtt
 
 
 _NTT_CACHE: dict = {}

@@ -28,7 +28,7 @@ from repro.encoding.conv_encoding import (
 )
 from repro.encoding.linear_encoding import LinearEncoder, LinearShape
 from repro.he.backend import PolyMulBackend
-from repro.he.bfv import BfvContext, PublicKey, SecretKey
+from repro.he.bfv import BfvContext, Ciphertext, PublicKey, SecretKey
 from repro.he.params import BfvParameters
 from repro.protocol.secret_sharing import ShareRing
 from repro.protocol.wire import ciphertext_bytes
@@ -196,6 +196,209 @@ class HybridConvProtocol:
             stats=stats,
         )
 
+    def run_batch(
+        self,
+        xs: np.ndarray,
+        w: np.ndarray,
+        rng: np.random.Generator,
+        session: Optional[_PartyPair] = None,
+    ) -> List[ProtocolResult]:
+        """Evaluate ``conv(x_i, w)`` privately for a whole batch of inputs.
+
+        The batched counterpart of :meth:`run`: every phase/band builds its
+        encoder and weight polynomials once for the whole batch, and all
+        homomorphic plaintext products of a band (items x channels x tiles
+        x 2 ciphertext components) go through the backend in one
+        ``multiply_many`` call when it offers one (see
+        :mod:`repro.runtime`), so the transform work is batched and the
+        weight spectra are computed once.
+
+        Args:
+            xs: clear activations ``B x C x H x W`` (or ``C x H x W``).
+            w: server weights ``M x C x kh x kw``.
+            rng: randomness for keys, shares and masks.
+            session: optional pre-generated key material.
+
+        Returns:
+            one :class:`ProtocolResult` per batch item, in order.
+        """
+        from repro.encoding.plain_eval import conv2d_direct
+
+        party = session or _PartyPair(self.params, rng)
+        ring = party.ring
+
+        xs = np.asarray(xs, dtype=np.int64)
+        if xs.ndim == 3:
+            xs = xs[None]
+        w = np.asarray(w, dtype=np.int64)
+        batch = xs.shape[0]
+        stats = [ProtocolStats() for _ in range(batch)]
+        expected = [
+            conv2d_direct(x, w, stride=self.shape.stride, padding=self.shape.padding)
+            for x in xs
+        ]
+        for e in expected:
+            if not ring.fits_signed(e):
+                raise ValueError(
+                    "convolution output overflows the sharing ring; "
+                    "increase the plaintext modulus"
+                )
+
+        shares = [ring.share(x, rng) for x in xs]
+        xc_pads = [
+            pad_input(ring.to_signed(c), self.shape.padding) for c, _ in shares
+        ]
+        xs_pads = [
+            pad_input(ring.to_signed(sv), self.shape.padding) for _, sv in shares
+        ]
+
+        padded_shape = ConvShape(
+            in_channels=self.shape.in_channels,
+            height=self.shape.padded_height,
+            width=self.shape.padded_width,
+            out_channels=self.shape.out_channels,
+            kernel_h=self.shape.kernel_h,
+            kernel_w=self.shape.kernel_w,
+            stride=self.shape.stride,
+            padding=0,
+        )
+
+        y_clients = [np.zeros_like(e) for e in expected]
+        y_servers = [np.zeros_like(e) for e in expected]
+        oh, ow = expected[0].shape[1], expected[0].shape[2]
+        s = self.shape.stride
+        for phase, a, b in decompose_strided(padded_shape):
+            xc_phase = [
+                xp[:, a::s, b::s][:, : phase.height, : phase.width]
+                for xp in xc_pads
+            ]
+            xs_phase = [
+                xp[:, a::s, b::s][:, : phase.height, : phase.width]
+                for xp in xs_pads
+            ]
+            w_phase = w[:, :, a::s, b::s]
+            for row_start, band in iter_row_bands(phase, self.params.n):
+                enc = Conv2dEncoder(band, self.params.n)
+                rows = slice(row_start, row_start + band.height)
+                ys = self._run_phase_batch(
+                    party, enc,
+                    [xc[:, rows, :] for xc in xc_phase],
+                    [xv[:, rows, :] for xv in xs_phase],
+                    w_phase, rng, stats,
+                )
+                for item, (yc, yv) in enumerate(ys):
+                    r1 = min(row_start + yc.shape[1], oh)
+                    pad_rows = r1 - row_start
+                    if pad_rows <= 0:
+                        continue
+                    yc_full = np.zeros_like(y_clients[item])
+                    ys_full = np.zeros_like(y_servers[item])
+                    yc_full[:, row_start:r1, :ow] = yc[:, :pad_rows, :ow]
+                    ys_full[:, row_start:r1, :ow] = yv[:, :pad_rows, :ow]
+                    y_clients[item] = ring.add(y_clients[item], yc_full)
+                    y_servers[item] = ring.add(y_servers[item], ys_full)
+
+        return [
+            ProtocolResult(
+                client_share=y_clients[item],
+                server_share=y_servers[item],
+                reconstructed=ring.reconstruct(y_clients[item], y_servers[item]),
+                expected=expected[item],
+                stats=stats[item],
+            )
+            for item in range(batch)
+        ]
+
+    def _run_phase_batch(
+        self,
+        party: _PartyPair,
+        enc: Conv2dEncoder,
+        xc_items: List[np.ndarray],
+        xs_items: List[np.ndarray],
+        w: np.ndarray,
+        rng: np.random.Generator,
+        stats: List[ProtocolStats],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        ctx, ring = party.ctx, party.ring
+        t = self.params.t
+        batch = len(xc_items)
+
+        w_polys = enc.encode_weights(w)  # shared by the whole batch
+        counts = enc.transforms_per_hconv()
+
+        # Client side: encrypt every item's tiles (same rng order as
+        # serial runs of the same item list).
+        all_full_cts: List[List[Ciphertext]] = []
+        for item in range(batch):
+            client_polys = enc.encode_input(xc_items[item])
+            cts = [
+                ctx.encrypt_symmetric(party.sk, poly % t, rng)
+                for poly in client_polys
+            ]
+            stats[item].ciphertexts_sent += len(cts)
+            stats[item].bytes_sent += len(cts) * ciphertext_bytes(self.params)
+            stats[item].input_transforms += len(cts)
+            stats[item].weight_transforms += counts["weight_forward"]
+            stats[item].inverse_transforms += counts["inverse"]
+            server_polys = enc.encode_input(xs_items[item])
+            all_full_cts.append(
+                [
+                    ctx.add_plain(ct, server_polys[tile] % t)
+                    for tile, ct in enumerate(cts)
+                ]
+            )
+
+        # Server side: every (item, channel, tile) product in one batch.
+        out_channels = enc.shape.out_channels
+        tiles = len(all_full_cts[0])
+        pairs = [(m, tile) for m in range(out_channels) for tile in range(tiles)]
+        products: Dict[Tuple[int, int, int], Ciphertext] = {}
+        if self.backend is not None and hasattr(self.backend, "multiply_many"):
+            polys, weights = [], []
+            for item in range(batch):
+                for m, tile in pairs:
+                    w_poly = w_polys[(tile, m)]
+                    polys.extend(
+                        (all_full_cts[item][tile].c0, all_full_cts[item][tile].c1)
+                    )
+                    weights.extend((w_poly, w_poly))
+            outs = self.backend.multiply_many(polys, weights)
+            for item in range(batch):
+                for i, (m, tile) in enumerate(pairs):
+                    k = 2 * (item * len(pairs) + i)
+                    products[(item, m, tile)] = Ciphertext(outs[k], outs[k + 1])
+        else:
+            for item in range(batch):
+                for m, tile in pairs:
+                    products[(item, m, tile)] = ctx.multiply_plain(
+                        all_full_cts[item][tile], w_polys[(tile, m)], self.backend
+                    )
+
+        results: List[Tuple[np.ndarray, np.ndarray]] = []
+        oh, ow = enc.shape.out_height, enc.shape.out_width
+        for item in range(batch):
+            y_client = np.zeros((out_channels, oh, ow), dtype=np.int64)
+            y_server = np.zeros_like(y_client)
+            for m in range(out_channels):
+                acc = None
+                for tile in range(tiles):
+                    prod = products[(item, m, tile)]
+                    acc = prod if acc is None else ctx.add(acc, prod)
+                r = ring.random(self.params.n, rng)
+                ct_out = ctx.sub_plain(acc, r)
+                stats[item].ciphertexts_returned += 1
+                stats[item].bytes_received += ciphertext_bytes(self.params)
+                stats[item].min_noise_budget = min(
+                    stats[item].min_noise_budget,
+                    ctx.noise_budget(party.sk, ct_out),
+                )
+                y_client[m] = ring.reduce(
+                    enc.extract_output(ctx.decrypt(party.sk, ct_out))
+                )
+                y_server[m] = ring.reduce(enc.extract_output(r))
+            results.append((y_client, y_server))
+        return results
+
     def _run_phase(
         self,
         party: _PartyPair,
@@ -236,10 +439,11 @@ class HybridConvProtocol:
         oh, ow = enc.shape.out_height, enc.shape.out_width
         y_client = np.zeros((enc.shape.out_channels, oh, ow), dtype=np.int64)
         y_server = np.zeros_like(y_client)
+        products = self._phase_products(ctx, full_cts, w_polys, enc.shape.out_channels)
         for m in range(enc.shape.out_channels):
             acc = None
-            for tile, full in enumerate(full_cts):
-                prod = ctx.multiply_plain(full, w_polys[(tile, m)], self.backend)
+            for tile in range(len(full_cts)):
+                prod = products[(m, tile)]
                 acc = prod if acc is None else ctx.add(acc, prod)
             r = ring.random(self.params.n, rng)
             ct_out = ctx.sub_plain(acc, r)
@@ -253,6 +457,44 @@ class HybridConvProtocol:
             )
             y_server[m] = ring.reduce(enc.extract_output(r))
         return y_client, y_server
+
+    def _phase_products(
+        self,
+        ctx: BfvContext,
+        full_cts: List[Ciphertext],
+        w_polys: Dict[Tuple[int, int], np.ndarray],
+        out_channels: int,
+    ) -> Dict[Tuple[int, int], Ciphertext]:
+        """All ``(channel, tile)`` plaintext products of one phase.
+
+        When the backend exposes ``multiply_many`` (the batched runtime
+        backends of :mod:`repro.runtime`), every ciphertext-component
+        product of the phase goes through one batched call; otherwise the
+        original serial ``multiply_plain`` loop runs.  Both paths produce
+        bit-identical ciphertexts.
+        """
+        pairs = [
+            (m, tile)
+            for m in range(out_channels)
+            for tile in range(len(full_cts))
+        ]
+        if self.backend is not None and hasattr(self.backend, "multiply_many"):
+            polys, weights = [], []
+            for m, tile in pairs:
+                w_poly = w_polys[(tile, m)]
+                polys.extend((full_cts[tile].c0, full_cts[tile].c1))
+                weights.extend((w_poly, w_poly))
+            outs = self.backend.multiply_many(polys, weights)
+            return {
+                pair: Ciphertext(outs[2 * i], outs[2 * i + 1])
+                for i, pair in enumerate(pairs)
+            }
+        return {
+            (m, tile): ctx.multiply_plain(
+                full_cts[tile], w_polys[(tile, m)], self.backend
+            )
+            for m, tile in pairs
+        }
 
 
 class HybridLinearProtocol:

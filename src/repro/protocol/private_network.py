@@ -154,6 +154,86 @@ class PrivateCnnEvaluator:
             layer_stats=layer_stats,
         )
 
+    def infer_batch(
+        self, images: np.ndarray, rng: np.random.Generator
+    ) -> List[PrivateInferenceTrace]:
+        """Privately classify a batch of float images in one pass.
+
+        Convolution layers run through
+        :meth:`repro.protocol.hybrid.HybridConvProtocol.run_batch`, so
+        weight encodings are shared across the batch and -- with a batched
+        backend such as :class:`repro.runtime.BatchedFftBackend` -- all
+        transform work executes in vectorized batch passes.  Non-linear
+        layers apply to the whole activation stack at once.
+        """
+        session = make_session(self.params, rng)
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[None]
+        expected = [self.net.forward_with_kernels(img) for img in images]
+
+        x = self.net.input_params.quantize(images)
+        layer_stats: List[List[ProtocolStats]] = [[] for _ in images]
+        for op in self.net.ops:
+            if op[0] == "conv":
+                spec = op[1]
+                m, c, kh, kw = spec.weight_q.shape
+                shape = ConvShape(
+                    in_channels=c,
+                    height=x.shape[2],
+                    width=x.shape[3],
+                    out_channels=m,
+                    kernel_h=kh,
+                    kernel_w=kw,
+                    stride=spec.stride,
+                    padding=spec.padding,
+                )
+                protocol = HybridConvProtocol(
+                    self.params, shape, self.backend
+                )
+                results = protocol.run_batch(
+                    x, spec.weight_q, rng, session=session
+                )
+                for item, result in enumerate(results):
+                    layer_stats[item].append(result.stats)
+                sp = np.stack(
+                    [
+                        self.net._add_bias(r.reconstructed, spec)
+                        for r in results
+                    ]
+                )
+                x = requantize_shift(sp, spec.requant_shift, spec.act_bits)
+            elif op[0] == "linear":
+                spec = op[1]
+                shape = LinearShape(
+                    in_features=spec.weight_q.shape[1],
+                    out_features=spec.weight_q.shape[0],
+                )
+                protocol = HybridLinearProtocol(
+                    self.params, shape, self.backend
+                )
+                outs = []
+                for item in range(len(x)):
+                    result = protocol.run(
+                        x[item], spec.weight_q, rng, session=session
+                    )
+                    layer_stats[item].append(result.stats)
+                    sp = self.net._add_bias(result.reconstructed, spec)
+                    outs.append(
+                        requantize_shift(sp, spec.requant_shift, spec.act_bits)
+                    )
+                x = np.stack(outs)
+            else:
+                x = self.net._apply_aux_batch(op, x)
+        return [
+            PrivateInferenceTrace(
+                logits=x[item],
+                expected_logits=expected[item],
+                layer_stats=layer_stats[item],
+            )
+            for item in range(len(images))
+        ]
+
     def accuracy(
         self,
         images: np.ndarray,

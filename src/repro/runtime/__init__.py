@@ -1,0 +1,32 @@
+"""Batched parallel HConv runtime: plan caching + vectorized batch passes.
+
+The execution layer between the protocol and the transform kernels:
+
+* :class:`PlanCache` -- bounded, byte-accounted LRU cache for NTT/FFT plans
+  and precomputed weight spectra.
+* :class:`BatchedHConvEngine` -- clear-domain batched convolution through
+  the coefficient encoding (bit-identical to the per-call pipelines).
+* :class:`BatchedNttBackend` / :class:`BatchedFftBackend` -- drop-in
+  polynomial-multiplication backends whose ``multiply_many`` batches the
+  transforms of the encrypted path and fans RNS limbs across workers.
+"""
+
+from repro.runtime.engine import (
+    BatchedFftBackend,
+    BatchedHConvEngine,
+    BatchedNttBackend,
+    RuntimeStats,
+    fan_out,
+)
+from repro.runtime.plan_cache import PlanCache, approx_config_key, estimate_nbytes
+
+__all__ = [
+    "BatchedFftBackend",
+    "BatchedHConvEngine",
+    "BatchedNttBackend",
+    "PlanCache",
+    "RuntimeStats",
+    "approx_config_key",
+    "estimate_nbytes",
+    "fan_out",
+]

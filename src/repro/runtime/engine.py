@@ -1,0 +1,536 @@
+"""Batched HConv execution engine (the CPU-side runtime of the system).
+
+Every HConv used to run one ciphertext at a time through freshly built FFT
+plans.  This module stacks many polynomial pairs into 2-D arrays and runs
+the NTT / approximate-FFT butterflies over the batch axis in single
+vectorized numpy passes, amortizing:
+
+* **plans** -- twiddle tables and pipelines come from a bounded
+  :class:`repro.runtime.plan_cache.PlanCache`;
+* **weight transforms** -- each distinct weight polynomial's spectrum is
+  computed once and shared by every batch item (the Section III-B sharing
+  argument, applied across the batch as well as across tiles);
+* **activation transforms** -- computed once per input tile and reused by
+  all output channels.
+
+Independent RNS limbs and output-channel groups fan out across a
+``concurrent.futures`` thread pool (numpy releases the GIL inside the
+vectorized kernels); results are reassembled by index so ordering is
+deterministic and byte-identical to the serial fallback.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.encoding.conv_encoding import (
+    Conv2dEncoder,
+    ConvShape,
+    decompose_strided,
+    iter_row_bands,
+    pad_input,
+)
+from repro.fftcore.approx_pipeline import ApproxNegacyclic
+from repro.fftcore.fixed_point import ApproxFftConfig
+from repro.he.backend import FftPolyMulBackend, NttPolyMulBackend
+from repro.he.poly import RingPoly
+from repro.ntt import find_ntt_primes, get_ntt
+from repro.ntt.modmath import centered, from_centered, mulmod
+from repro.runtime.plan_cache import PlanCache, approx_config_key
+
+#: Float64 keeps integers exact below this; larger rounded values take the
+#: slow Python-int path so results match the per-call reference exactly.
+_FLOAT_EXACT = float(1 << 53)
+
+
+def fan_out(
+    jobs: Sequence,
+    fn: Callable,
+    max_workers: Optional[int],
+) -> list:
+    """Run ``fn`` over ``jobs`` with deterministic result ordering.
+
+    Serial fallback when ``max_workers`` is ``None``/``0``/``1`` or there is
+    at most one job; otherwise a thread pool of ``max_workers`` threads.
+    ``ThreadPoolExecutor.map`` yields results in submission order, so the
+    output list is identical to the serial path for pure ``fn``.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if not max_workers or max_workers <= 1 or len(jobs) == 1:
+        return [fn(job) for job in jobs]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, jobs))
+
+
+def _split_groups(items: Sequence, groups: int) -> List[list]:
+    """Split ``items`` into at most ``groups`` contiguous non-empty chunks."""
+    items = list(items)
+    groups = max(1, min(groups, len(items)))
+    size = -(-len(items) // groups)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+@dataclass
+class RuntimeStats:
+    """Per-run accounting: stage timings, work counts, cache behaviour."""
+
+    mode: str = "ntt"
+    batch: int = 0
+    products: int = 0
+    workers: int = 1
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cache: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def describe(self) -> str:
+        lines = [
+            f"mode={self.mode} batch={self.batch} "
+            f"products={self.products} workers={self.workers}"
+        ]
+        for stage, seconds in sorted(
+            self.stage_seconds.items(), key=lambda kv: -kv[1]
+        ):
+            frac = seconds / self.total_seconds if self.total_seconds else 0.0
+            lines.append(f"  {stage:<22} {seconds * 1e3:9.2f} ms  ({frac:5.1%})")
+        if self.cache:
+            lines.append(
+                "  plan cache: "
+                f"{self.cache.get('hits', 0)} hits / "
+                f"{self.cache.get('misses', 0)} misses "
+                f"(hit rate {self.cache.get('hit_rate', 0.0):.1%}), "
+                f"{self.cache.get('cached_bytes', 0) / 1024:.1f} KiB held"
+            )
+        return "\n".join(lines)
+
+
+class _Timer:
+    def __init__(self, stats: RuntimeStats, stage: str):
+        self._stats = stats
+        self._stage = stage
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._stats.add(self._stage, time.perf_counter() - self._t0)
+        return False
+
+
+def _round_rows_exact(rows: np.ndarray) -> np.ndarray:
+    """Round a float ``(J, n)`` batch to int64, bit-compatible with the
+    per-call path's ``int(round(float(v)))`` (both round half-to-even)."""
+    if rows.size and float(np.max(np.abs(rows))) >= _FLOAT_EXACT:
+        return np.array(
+            [[int(round(float(v))) for v in row] for row in rows],
+            dtype=np.int64,
+        )
+    return np.rint(rows).astype(np.int64)
+
+
+class BatchedHConvEngine:
+    """Clear-domain batched HConv over the coefficient encoding.
+
+    The batched counterpart of :func:`repro.core.hconv.hconv_ntt` /
+    ``hconv_fft`` / ``hconv_flash``: bit-identical results (exact engines)
+    computed in vectorized passes over the whole batch.
+
+    Args:
+        mode: ``"ntt"`` (exact), ``"fft"`` (float64 folded FFT) or
+            ``"flash"`` (approximate fixed-point weight transforms).
+        weight_config: fixed-point configuration for ``mode="flash"``.
+        plan_cache: shared :class:`PlanCache`; a fresh bounded cache when
+            omitted.
+        max_workers: thread-pool width for the pointwise/inverse stage;
+            ``None``/``0``/``1`` selects the serial fallback.
+    """
+
+    MODES = ("ntt", "fft", "flash")
+
+    def __init__(
+        self,
+        mode: str = "ntt",
+        weight_config: Optional[ApproxFftConfig] = None,
+        plan_cache: Optional[PlanCache] = None,
+        max_workers: Optional[int] = None,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        if mode == "flash" and weight_config is None:
+            raise ValueError("mode='flash' needs a weight_config")
+        if mode != "flash":
+            weight_config = None
+        self.mode = mode
+        self.weight_config = weight_config
+        # Note: "plan_cache or ..." would discard an *empty* shared cache
+        # (PlanCache defines __len__), so test identity explicitly.
+        self.plan_cache = (
+            plan_cache if plan_cache is not None
+            else PlanCache(capacity_bytes=64 << 20)
+        )
+        self.max_workers = max_workers
+        self.last_stats = RuntimeStats(mode=mode)
+
+    # -- plan / spectrum helpers ----------------------------------------
+
+    def _ntt_plan(self, n: int, q: int):
+        return self.plan_cache.get_or_build(
+            ("ntt-plan", n, q), lambda: get_ntt(n, q)
+        )
+
+    def _fft_pipeline(self, n: int) -> ApproxNegacyclic:
+        cfg = self.weight_config
+        key = ("fft-plan", n, approx_config_key(cfg))
+        return self.plan_cache.get_or_build(
+            key, lambda: ApproxNegacyclic(n, cfg)
+        )
+
+    def _ntt_weight_spectrum(self, plan, q: int, w_poly: np.ndarray):
+        w_poly = np.ascontiguousarray(w_poly, dtype=np.int64)
+        key = ("ntt-wspec", plan.n, q, w_poly.tobytes())
+        return self.plan_cache.get_or_build(
+            key, lambda: plan.forward(from_centered(w_poly, q))
+        )
+
+    def _fft_weight_spectrum(self, pipe: ApproxNegacyclic, w_poly: np.ndarray):
+        w_poly = np.ascontiguousarray(w_poly, dtype=np.int64)
+        key = (
+            "fft-wspec",
+            pipe.n,
+            approx_config_key(self.weight_config),
+            w_poly.tobytes(),
+        )
+        return self.plan_cache.get_or_build(
+            key, lambda: pipe.weight_forward(w_poly)
+        )
+
+    # -- batched polynomial products ------------------------------------
+
+    def polymul_batch(self, a_batch, w_poly, value_bound: int) -> np.ndarray:
+        """Batched negacyclic products of ``(B, n)`` ints by one weight.
+
+        Args:
+            a_batch: signed integer activations, ``(B, n)``.
+            w_poly: signed integer weight polynomial, ``(n,)``.
+            value_bound: bound on result magnitudes (sizes the NTT prime).
+        """
+        a_batch = np.atleast_2d(np.asarray(a_batch, dtype=np.int64))
+        w_poly = np.asarray(w_poly, dtype=np.int64)
+        n = a_batch.shape[-1]
+        if self.mode == "ntt":
+            q = self._modulus_for(n, value_bound)
+            plan = self._ntt_plan(n, q)
+            w_spec = self._ntt_weight_spectrum(plan, q, w_poly)
+            spec = mulmod(plan.forward_batch(from_centered(a_batch, q)), w_spec, q)
+            return centered(plan.inverse_batch(spec), q)
+        pipe = self._fft_pipeline(n)
+        w_spec = self._fft_weight_spectrum(pipe, w_poly)
+        a_spec = pipe.activation_forward_batch(a_batch.astype(np.float64))
+        return _round_rows_exact(
+            pipe.multiply_spectra_batch(w_spec.values, a_spec)
+        )
+
+    @staticmethod
+    def _modulus_for(n: int, value_bound: int) -> int:
+        bits = max(20, min(39, (2 * value_bound + 1).bit_length() + 1))
+        if (2 * value_bound + 1) >> 38:
+            raise ValueError("results exceed the single-prime NTT range")
+        (q,) = find_ntt_primes(bits, n)
+        return q
+
+    # -- batched convolution --------------------------------------------
+
+    def conv2d_batch(
+        self, xs: np.ndarray, w: np.ndarray, shape: ConvShape, n: int
+    ) -> np.ndarray:
+        """Batched ``conv2d`` through the coefficient encoding.
+
+        Args:
+            xs: ``B x C x H x W`` integer inputs.
+            w: ``M x C x kh x kw`` integer kernel (shared across the batch).
+            shape: convolution geometry of one batch item.
+            n: polynomial degree.
+
+        Returns:
+            ``B x M x out_h x out_w`` int64 outputs, bit-identical to
+            running the per-call pipeline on each item.
+        """
+        stats = RuntimeStats(mode=self.mode, workers=self._workers())
+        xs = np.asarray(xs, dtype=np.int64)
+        if xs.ndim == 3:
+            xs = xs[None]
+        w = np.asarray(w, dtype=np.int64)
+        batch = xs.shape[0]
+        stats.batch = batch
+
+        bound = int(np.abs(w).sum() * max(1, int(np.abs(xs).max() if xs.size else 1)))
+        xp = np.stack([pad_input(x, shape.padding) for x in xs])
+        padded_shape = ConvShape(
+            in_channels=shape.in_channels,
+            height=shape.padded_height,
+            width=shape.padded_width,
+            out_channels=shape.out_channels,
+            kernel_h=shape.kernel_h,
+            kernel_w=shape.kernel_w,
+            stride=shape.stride,
+            padding=0,
+        )
+        total = np.zeros(
+            (batch, shape.out_channels, shape.out_height, shape.out_width),
+            dtype=np.int64,
+        )
+        s = shape.stride
+        for phase, a, b in decompose_strided(padded_shape):
+            x_phase = xp[:, :, a::s, b::s][:, :, : phase.height, : phase.width]
+            w_phase = w[:, :, a::s, b::s]
+            for row_start, band in iter_row_bands(phase, n):
+                x_band = x_phase[:, :, row_start : row_start + band.height, :]
+                self._run_band(
+                    x_band, w_phase, band, n, bound, shape, row_start,
+                    total, stats,
+                )
+        stats.cache = self.plan_cache.stats()
+        self.last_stats = stats
+        return total
+
+    def _workers(self) -> int:
+        return self.max_workers if self.max_workers and self.max_workers > 1 else 1
+
+    def _run_band(
+        self,
+        x_band: np.ndarray,
+        w_phase: np.ndarray,
+        band: ConvShape,
+        n: int,
+        bound: int,
+        shape: ConvShape,
+        row_start: int,
+        total: np.ndarray,
+        stats: RuntimeStats,
+    ) -> None:
+        batch = x_band.shape[0]
+        with _Timer(stats, "encode"):
+            enc = Conv2dEncoder(band, n)
+            in_rows = []
+            for item in range(batch):
+                in_rows.extend(enc.encode_input(x_band[item]))
+            tiles = len(in_rows) // batch
+            a_stack = np.stack(in_rows)  # (B * tiles, n)
+            w_polys = enc.encode_weights(w_phase)
+        pairs = sorted(w_polys.keys())  # (tile, m), deterministic order
+
+        if self.mode == "ntt":
+            q = self._modulus_for(n, bound)
+            plan = self._ntt_plan(n, q)
+            with _Timer(stats, "weight_transform"):
+                w_specs = {
+                    pair: self._ntt_weight_spectrum(plan, q, w_polys[pair])
+                    for pair in pairs
+                }
+            with _Timer(stats, "activation_transform"):
+                a_spec = plan.forward_batch(from_centered(a_stack, q))
+
+            def group_job(group: List[Tuple[int, int]]) -> np.ndarray:
+                a_idx = [
+                    item * tiles + tile
+                    for item in range(batch)
+                    for tile, _ in group
+                ]
+                w_rows = np.stack([w_specs[pair] for pair in group] * batch)
+                spec = mulmod(a_spec[a_idx], w_rows, q)
+                return centered(plan.inverse_batch(spec), q)
+
+        else:
+            pipe = self._fft_pipeline(n)
+            with _Timer(stats, "weight_transform"):
+                w_specs = {
+                    pair: self._fft_weight_spectrum(pipe, w_polys[pair]).values
+                    for pair in pairs
+                }
+            with _Timer(stats, "activation_transform"):
+                a_spec = pipe.activation_forward_batch(
+                    a_stack.astype(np.float64)
+                )
+
+            def group_job(group: List[Tuple[int, int]]) -> np.ndarray:
+                a_idx = [
+                    item * tiles + tile
+                    for item in range(batch)
+                    for tile, _ in group
+                ]
+                w_rows = np.stack([w_specs[pair] for pair in group] * batch)
+                coeffs = pipe.multiply_spectra_batch(w_rows, a_spec[a_idx])
+                return _round_rows_exact(coeffs)
+
+        groups = _split_groups(pairs, self._workers())
+        with _Timer(stats, "pointwise+inverse"):
+            group_rows = fan_out(groups, group_job, self.max_workers)
+        stats.products += len(pairs) * batch
+
+        with _Timer(stats, "decode"):
+            oh, ow = shape.out_height, shape.out_width
+            for item in range(batch):
+                products: Dict[Tuple[int, int], np.ndarray] = {}
+                for group, rows in zip(groups, group_rows):
+                    base = item * len(group)
+                    for offset, pair in enumerate(group):
+                        products[pair] = rows[base + offset]
+                y = enc.decode_output(products)
+                r0 = row_start
+                r1 = min(r0 + y.shape[1], oh)
+                total[item, :, r0:r1, :ow] += y[:, : r1 - r0, :ow]
+
+
+# ---------------------------------------------------------------------------
+# Batched backends for the encrypted (RNS ciphertext) path
+# ---------------------------------------------------------------------------
+
+
+class BatchedNttBackend(NttPolyMulBackend):
+    """Exact NTT backend with a batched ``multiply_many`` entry point.
+
+    Single products behave exactly like :class:`NttPolyMulBackend`; batched
+    calls stack every polynomial's residues per RNS limb and run one
+    ``forward_batch`` / ``inverse_batch`` pass per limb, with limbs fanned
+    across the worker pool.  Weight spectra are cached per
+    ``(degree, prime, weight-bytes)`` in the :class:`PlanCache`.
+    """
+
+    def __init__(
+        self,
+        plan_cache: Optional[PlanCache] = None,
+        max_workers: Optional[int] = None,
+    ):
+        self.plan_cache = (
+            plan_cache if plan_cache is not None
+            else PlanCache(capacity_bytes=64 << 20)
+        )
+        self.max_workers = max_workers
+
+    def _weight_residue_spectrum(
+        self, n: int, prime: int, weights: np.ndarray
+    ) -> np.ndarray:
+        weights = np.ascontiguousarray(weights, dtype=np.int64)
+        key = ("rns-wspec", n, prime, weights.tobytes())
+        plan = get_ntt(n, prime)
+        return self.plan_cache.get_or_build(
+            key,
+            lambda: plan.forward(
+                (weights % np.int64(prime)).astype(np.uint64)
+            ),
+        )
+
+    def multiply_many(
+        self, polys: List[RingPoly], weights_list: List[np.ndarray]
+    ) -> List[RingPoly]:
+        """Batched plaintext products, bit-identical to serial ``multiply``.
+
+        Args:
+            polys: ring polynomials sharing one RNS basis.
+            weights_list: one signed weight vector per polynomial (repeats
+                hit the spectrum cache).
+        """
+        if len(polys) != len(weights_list):
+            raise ValueError("polys and weights_list must have equal length")
+        if not polys:
+            return []
+        basis = polys[0].basis
+        count = len(polys)
+        weights_list = [
+            np.ascontiguousarray(w, dtype=np.int64) for w in weights_list
+        ]
+        # Weight spectra are built serially (deterministic cache order);
+        # limb jobs below only read plain arrays.
+        w_rows_per_limb = []
+        for prime in basis.primes:
+            w_rows_per_limb.append(
+                np.stack(
+                    [
+                        self._weight_residue_spectrum(basis.n, prime, w)
+                        for w in weights_list
+                    ]
+                )
+            )
+
+        def limb_job(limb: int) -> np.ndarray:
+            prime = basis.primes[limb]
+            plan = get_ntt(basis.n, prime)
+            rows = np.stack([p.residues[limb] for p in polys])
+            spec = mulmod(plan.forward_batch(rows), w_rows_per_limb[limb], prime)
+            return plan.inverse_batch(spec)
+
+        limb_rows = fan_out(
+            range(len(basis.primes)), limb_job, self.max_workers
+        )
+        return [
+            RingPoly(basis, [limb_rows[l][i] for l in range(len(basis.primes))])
+            for i in range(count)
+        ]
+
+
+class BatchedFftBackend(FftPolyMulBackend):
+    """FLASH FFT backend with batched activation transforms.
+
+    Weight spectra reuse the inherited bounded cache; ``multiply_many``
+    stacks the centered lifts of every ciphertext polynomial and runs the
+    activation transforms, pointwise products and inverse transforms as
+    single batched passes.  The CRT lift and the final rounding/reduction
+    stay in exact Python-int arithmetic (identical to the serial path), so
+    batched results are bit-identical to per-call ``multiply``.
+    """
+
+    def __init__(
+        self,
+        weight_config: Optional[ApproxFftConfig] = None,
+        max_workers: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(weight_config=weight_config, **kwargs)
+        self.max_workers = max_workers
+
+    def multiply_many(
+        self, polys: List[RingPoly], weights_list: List[np.ndarray]
+    ) -> List[RingPoly]:
+        if len(polys) != len(weights_list):
+            raise ValueError("polys and weights_list must have equal length")
+        if not polys:
+            return []
+        basis = polys[0].basis
+        n, q = basis.n, basis.modulus
+        pipe = self.pipeline(n)
+        w_rows = np.stack(
+            [
+                self.weight_spectrum(n, np.asarray(w)).values
+                for w in weights_list
+            ]
+        )
+
+        def lift_job(poly: RingPoly) -> np.ndarray:
+            return np.array(
+                [float(v) for v in poly.to_centered()], dtype=np.float64
+            )
+
+        lifts = fan_out(polys, lift_job, self.max_workers)
+        a_spec = pipe.activation_forward_batch(np.stack(lifts))
+        products = pipe.multiply_spectra_batch(w_rows, a_spec)
+
+        def reduce_job(row: np.ndarray) -> RingPoly:
+            ints = [int(round(float(v))) % q for v in row]
+            return RingPoly(
+                basis, basis.to_rns(np.array(ints, dtype=object))
+            )
+
+        return fan_out(list(products), reduce_job, self.max_workers)

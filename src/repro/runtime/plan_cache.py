@@ -1,0 +1,259 @@
+"""Bounded, keyed cache for transform plans and precomputed spectra.
+
+Every hot path in the repository used to keep its own unbounded dict cache
+(NTT plans in :mod:`repro.ntt.ntt`, weight spectra and FFT pipelines in
+:mod:`repro.he.backend`).  :class:`PlanCache` replaces those with one
+byte-accounted LRU structure: entries are keyed by arbitrary hashable
+tuples -- typically ``(kind, degree, modulus)`` for NTT plans and
+``(kind, degree, config_key, weights_bytes)`` for weight spectra -- and
+evicted least-recently-used when a capacity is exceeded.
+
+Two full-cache policies exist because the paper needs both:
+
+* ``on_full="evict"`` -- the runtime behaviour: never hold more than
+  ``capacity_bytes``, evicting LRU entries (an entry larger than the whole
+  capacity is returned but not retained).
+* ``on_full="error"`` -- the Figure 1 memory-wall model used by
+  :class:`repro.he.backend.CachedNttBackend`: exceeding the budget raises
+  :class:`MemoryError`, demonstrating why storing NTT-domain weights is
+  infeasible at ResNet scale.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+
+def estimate_nbytes(value: Any) -> int:
+    """Best-effort byte footprint of a cached value.
+
+    Understands numpy arrays, containers of arrays, objects exposing a
+    ``plan_bytes`` property (transform plans) and objects with ``values``
+    arrays (:class:`repro.fftcore.approx_pipeline.ApproxSpectrum`).
+    """
+    import numpy as np
+
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    plan_bytes = getattr(value, "plan_bytes", None)
+    if isinstance(plan_bytes, (int, np.integer)):
+        return int(plan_bytes)
+    if isinstance(value, (list, tuple)):
+        return sum(estimate_nbytes(v) for v in value)
+    if isinstance(value, dict):
+        return sum(estimate_nbytes(v) for v in value.values())
+    values = getattr(value, "values", None)
+    if isinstance(values, np.ndarray):
+        return int(values.nbytes) + estimate_nbytes(
+            getattr(value, "scale", None)
+        )
+    if isinstance(value, (int, float, complex)):
+        return 8
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    return 0
+
+
+class PlanCache:
+    """Keyed LRU cache with byte accounting and hit/miss statistics.
+
+    Args:
+        capacity_bytes: byte budget; ``None`` means unbounded.
+        max_entries: optional entry-count bound (applied with LRU order).
+        on_full: ``"evict"`` (LRU eviction, the runtime default) or
+            ``"error"`` (raise :class:`MemoryError` when the byte budget is
+            exceeded -- the paper's memory-wall model).
+        sizeof: override for the byte estimator.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        on_full: str = "evict",
+        sizeof: Optional[Callable[[Any], int]] = None,
+    ):
+        if on_full not in ("evict", "error"):
+            raise ValueError(f"unknown on_full policy {on_full!r}")
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.capacity_bytes = capacity_bytes
+        self.max_entries = max_entries
+        self.on_full = on_full
+        self._sizeof = sizeof or estimate_nbytes
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- inspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes held by cached values (per the size estimator)."""
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Snapshot of counters for reports and benchmarks."""
+        return {
+            "entries": len(self._entries),
+            "cached_bytes": self._bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def keys(self):
+        return list(self._entries.keys())
+
+    # Dict-style access, so a PlanCache is a drop-in for the plain dict
+    # caches it replaced (misses raise KeyError instead of counting).
+
+    def __getitem__(self, key: Hashable) -> Any:
+        with self._lock:
+            if key not in self._entries:
+                raise KeyError(key)
+            self._entries.move_to_end(key)
+            return self._entries[key][0]
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self.put(key, value)
+
+    # -- core operations -------------------------------------------------
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its LRU position on a hit."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key][0]
+            self.misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any, nbytes: Optional[int] = None) -> Any:
+        """Insert ``value`` under ``key``, applying the full-cache policy.
+
+        Returns the value (possibly without retaining it, when a single
+        entry exceeds the whole byte budget under the eviction policy).
+        """
+        size = self._sizeof(value) if nbytes is None else int(nbytes)
+        with self._lock:
+            if (
+                self.on_full == "evict"
+                and self.capacity_bytes is not None
+                and size > self.capacity_bytes
+            ):
+                # Oversized entry: caching it would only evict every other
+                # entry and then itself; hand it back without retaining.
+                if key in self._entries:
+                    self._bytes -= self._entries.pop(key)[1]
+                return value
+            if key in self._entries:
+                self._bytes -= self._entries.pop(key)[1]
+            self._entries[key] = (value, size)
+            self._bytes += size
+            if self.on_full == "error":
+                if (
+                    self.capacity_bytes is not None
+                    and self._bytes > self.capacity_bytes
+                ):
+                    raise MemoryError(
+                        f"plan cache exceeds {self.capacity_bytes} bytes "
+                        f"({self._bytes} held; the Figure 1 memory wall)"
+                    )
+                return value
+            self._shrink_locked()
+            return value
+
+    def _shrink_locked(self) -> None:
+        """Evict LRU entries until both capacity bounds hold."""
+        while self._entries and (
+            (
+                self.capacity_bytes is not None
+                and self._bytes > self.capacity_bytes
+            )
+            or (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            )
+        ):
+            _, (_, size) = self._entries.popitem(last=False)
+            self._bytes -= size
+            self.evictions += 1
+
+    def get_or_build(
+        self,
+        key: Hashable,
+        build: Callable[[], Any],
+        nbytes: Optional[int] = None,
+    ) -> Any:
+        """Return the cached value for ``key`` or build, insert and return it.
+
+        The build runs outside the lock (plan construction can be slow); a
+        concurrent duplicate build is tolerated and the first inserted value
+        wins, keeping results deterministic for pure builders.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key][0]
+            self.misses += 1
+        value = build()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key][0]
+        return self.put(key, value, nbytes=nbytes)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __repr__(self) -> str:
+        cap = (
+            f"{self.capacity_bytes}B"
+            if self.capacity_bytes is not None
+            else "unbounded"
+        )
+        return (
+            f"PlanCache(entries={len(self._entries)}, "
+            f"bytes={self._bytes}, capacity={cap}, policy={self.on_full})"
+        )
+
+
+def approx_config_key(config) -> tuple:
+    """Hashable cache key for an :class:`ApproxFftConfig` (or ``None``)."""
+    if config is None:
+        return ("fp64",)
+    return (
+        config.n,
+        tuple(config.stage_widths),
+        config.twiddle_k,
+        config.twiddle_max_shift,
+        config.input_width,
+    )
