@@ -10,6 +10,7 @@ Usage::
     python -m repro demo                  # one private convolution
     python -m repro bench-runtime         # batched HConv runtime benchmark
     python -m repro lint src/repro        # domain-aware static analysis
+    python -m repro chaos --seed 0        # randomized fault campaign
 """
 
 from __future__ import annotations
@@ -284,6 +285,24 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_campaign
+
+    try:
+        report = run_campaign(
+            seed=args.seed,
+            iterations=args.iterations,
+            max_rate=args.max_rate,
+            n=args.n,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0 if report.survived else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         all_rules,
@@ -400,6 +419,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
+        "chaos",
+        help="randomized fault campaign (transport, degradation, runtime)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument(
+        "--max-rate", type=float, default=0.2,
+        help="upper bound on drop/corrupt/truncate/duplicate rates",
+    )
+    p.add_argument("--n", type=int, default=64,
+                   help="polynomial degree of the probe parameters")
+    p.add_argument("--workers", type=int, default=2,
+                   help="thread-pool width for the runtime probe")
+
+    p = sub.add_parser(
         "lint", help="domain-aware static analysis (MOD/DTYPE/HYG/BW rules)"
     )
     p.add_argument(
@@ -438,6 +472,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "report": _cmd_report,
     "bench-runtime": _cmd_bench_runtime,
+    "chaos": _cmd_chaos,
     "lint": _cmd_lint,
 }
 

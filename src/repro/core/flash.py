@@ -103,6 +103,8 @@ class Flash:
         exact: bool = False,
         batch: bool = False,
         max_workers: Optional[int] = None,
+        transport=None,
+        guard=None,
     ):
         """Run one private convolution through the hybrid protocol.
 
@@ -121,15 +123,26 @@ class Flash:
                 batch passes.  Returns ``List[ProtocolResult]``.
             max_workers: worker-pool width for the batched runtime
                 (``None`` keeps the deterministic serial fallback).
+            transport: optional :class:`repro.faults.ResilientSession`
+                carrying the ciphertext traffic over its checksummed
+                channel (retry/timeout counts land in the result stats).
+            guard: optional :class:`repro.faults.BudgetGuard` degrading
+                the approximate path when the noise budget runs out.
         """
         if batch:
             backend = self._batched_backend(exact, max_workers)
-            protocol = HybridConvProtocol(self.config.params, shape, backend)
+            protocol = HybridConvProtocol(
+                self.config.params, shape, backend,
+                transport=transport, guard=guard,
+            )
             return protocol.run_batch(x, w, rng, session=self.session(rng))
         backend = (
             self.config.exact_backend() if exact else self.config.flash_backend()
         )
-        protocol = HybridConvProtocol(self.config.params, shape, backend)
+        protocol = HybridConvProtocol(
+            self.config.params, shape, backend,
+            transport=transport, guard=guard,
+        )
         return protocol.run(x, w, rng, session=self.session(rng))
 
     def private_linear(
@@ -138,13 +151,19 @@ class Flash:
         w: np.ndarray,
         rng: np.random.Generator,
         exact: bool = False,
+        transport=None,
+        guard=None,
     ) -> ProtocolResult:
-        """Run one private fully-connected layer."""
+        """Run one private fully-connected layer (``transport`` and
+        ``guard`` as on :meth:`private_conv2d`)."""
         shape = LinearShape(in_features=w.shape[1], out_features=w.shape[0])
         backend = (
             self.config.exact_backend() if exact else self.config.flash_backend()
         )
-        protocol = HybridLinearProtocol(self.config.params, shape, backend)
+        protocol = HybridLinearProtocol(
+            self.config.params, shape, backend,
+            transport=transport, guard=guard,
+        )
         return protocol.run(x, w, rng, session=self.session(rng))
 
     # ------------------------------------------------------------------

@@ -1,0 +1,95 @@
+"""Deterministic worker-fault injection for the batched runtime.
+
+The runtime fans RNS limbs and channel groups across a thread pool; a
+worker can die mid-job (injected here as :class:`InjectedWorkerFault`, in
+production as any exception escaping the vectorized kernels).  The
+runtime's recovery path (:func:`repro.runtime.engine.fan_out` with a
+:class:`FaultRecovery`) retries the failed job serially in the submitting
+thread -- the kernels are pure, so the retried result is bit-identical --
+and records the fault instead of losing the whole batch.
+
+:class:`WorkerFaultInjector` decides *once per job tag* (seeded, or via an
+explicit tag list) whether that job is poisoned, then fails its first
+``failures_per_job`` executions, so a single retry always lands on the
+real computation unless a test configures a permanently poisoned job.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence
+
+
+class InjectedWorkerFault(RuntimeError):
+    """Synthetic failure raised inside a poisoned runtime job."""
+
+
+class WorkerFaultInjector:
+    """Poison selected parallel jobs for a bounded number of attempts.
+
+    Args:
+        rate: probability that a never-before-seen job tag is poisoned
+            (ignored for tags listed in ``tags``).
+        seed: PRNG seed for the per-tag poison decisions.
+        tags: explicit job tags to poison (``None`` = rate-based).
+        failures_per_job: executions of a poisoned job that fail before it
+            starts succeeding (1 = a single serial retry recovers it; a
+            large value models a permanently broken job).
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        seed: int = 0,
+        tags: Optional[Sequence[Hashable]] = None,
+        failures_per_job: int = 1,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if failures_per_job < 1:
+            raise ValueError("failures_per_job must be >= 1")
+        self.rate = rate
+        self.tags = set(tags) if tags is not None else None
+        self.failures_per_job = failures_per_job
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._poisoned: Dict[Hashable, bool] = {}
+        self._attempts: Dict[Hashable, int] = {}
+        self.injected = 0
+
+    def poison(self, tag: Hashable) -> None:
+        """Raise :class:`InjectedWorkerFault` if this execution is poisoned.
+
+        Runtime jobs call this at their start with a stable tag such as
+        ``("limb", 2)`` or ``("group", 0)``.
+        """
+        with self._lock:
+            if tag not in self._poisoned:
+                self._poisoned[tag] = (
+                    tag in self.tags
+                    if self.tags is not None
+                    else self._rng.random() < self.rate
+                )
+            attempt = self._attempts.get(tag, 0)
+            self._attempts[tag] = attempt + 1
+            fire = self._poisoned[tag] and attempt < self.failures_per_job
+            if fire:
+                self.injected += 1
+        if fire:
+            raise InjectedWorkerFault(
+                f"injected fault in job {tag!r} (attempt {attempt + 1})"
+            )
+
+
+@dataclass
+class FaultRecovery:
+    """Mutable record of worker faults recovered by a serial retry."""
+
+    faults: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def record(self, exc: BaseException) -> None:
+        self.faults += 1
+        self.errors.append(f"{type(exc).__name__}: {exc}")

@@ -61,7 +61,8 @@ class CachedNttBackend(PolyMulBackend):
 
         self.capacity_bytes = capacity_bytes
         self._spectra = PlanCache(
-            capacity_bytes=capacity_bytes, on_full="error"
+            capacity_bytes=capacity_bytes, on_full="error",
+            check_integrity=True,
         )
 
     @property
@@ -126,6 +127,8 @@ class FftPolyMulBackend(PolyMulBackend):
             "FFT (FP)" ablation arm).
         spectrum_cache_bytes: LRU byte budget for cached weight spectra
             (``None`` disables the bound); the cache never exceeds it.
+            Entries are integrity-checked: a tampered cached spectrum is
+            evicted and recomputed rather than served.
         plan_cache: optional shared :class:`repro.runtime.PlanCache` for
             the transform pipelines themselves.
     """
@@ -143,7 +146,9 @@ class FftPolyMulBackend(PolyMulBackend):
             plan_cache if plan_cache is not None
             else PlanCache(max_entries=16)
         )
-        self._spectrum_cache = PlanCache(capacity_bytes=spectrum_cache_bytes)
+        self._spectrum_cache = PlanCache(
+            capacity_bytes=spectrum_cache_bytes, check_integrity=True
+        )
 
     def pipeline(self, n: int) -> ApproxNegacyclic:
         cfg = self.weight_config

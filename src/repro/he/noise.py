@@ -15,6 +15,10 @@ import numpy as np
 from repro.he.params import BfvParameters
 
 
+class NoiseBudgetError(RuntimeError):
+    """Predicted or observed noise growth exceeds the ``q/(2t)`` ceiling."""
+
+
 def fresh_noise_bound(params: BfvParameters, symmetric: bool = False) -> float:
     """High-probability infinity-norm bound on fresh encryption noise.
 
@@ -61,6 +65,37 @@ def predicted_budget_after_hconv(
         fresh_noise_bound(params)
         * plain_mult_noise_factor(weights)
         * accumulation_noise_factor(num_accumulated)
+    )
+    return math.log2(params.noise_ceiling) - math.log2(max(noise, 1.0))
+
+
+def conv_budget_margin_bits(
+    params: BfvParameters, weights, num_accumulated: int = 1
+) -> float:
+    """Worst-case predicted noise margin (bits) of one conv/linear layer.
+
+    Takes the full weight tensor and bounds the plaintext-multiply growth
+    by the largest per-output-channel ``||w||_1`` (each output channel's
+    encoded weight polynomial carries exactly that channel's taps), so one
+    call budgets a whole layer without encoding it first.
+
+    Args:
+        params: BFV parameters.
+        weights: ``M x ...`` integer weight tensor (axis 0 = out channels).
+        num_accumulated: upper bound on ciphertext partial sums added per
+            output (channel tiling); conservative overestimates are safe.
+
+    Returns:
+        remaining bits before the ``q/(2t)`` ceiling; values at or below
+        zero predict decryption failure.
+    """
+    w = np.abs(np.asarray(weights, dtype=np.int64))
+    per_channel = w.reshape(w.shape[0], -1).sum(axis=1) if w.ndim > 1 else w
+    worst = int(per_channel.max()) if per_channel.size else 1
+    noise = (
+        fresh_noise_bound(params)
+        * max(worst, 1)
+        * accumulation_noise_factor(max(num_accumulated, 1))
     )
     return math.log2(params.noise_ceiling) - math.log2(max(noise, 1.0))
 

@@ -27,7 +27,7 @@ from repro.encoding.conv_encoding import (
     pad_input,
 )
 from repro.encoding.linear_encoding import LinearEncoder, LinearShape
-from repro.he.backend import PolyMulBackend
+from repro.he.backend import FftPolyMulBackend, PolyMulBackend
 from repro.he.bfv import BfvContext, Ciphertext, PublicKey, SecretKey
 from repro.he.params import BfvParameters
 from repro.protocol.secret_sharing import ShareRing
@@ -46,6 +46,13 @@ class ProtocolStats:
     min_noise_budget: float = float("inf")
     bytes_sent: int = 0
     bytes_received: int = 0
+    # Transport resilience (populated when traffic routes through a
+    # repro.faults.ResilientSession) and graceful degradation.
+    retries: int = 0
+    timeouts: int = 0
+    checksum_failures: int = 0
+    dead_letters: int = 0
+    degraded: bool = False
 
     @property
     def total_transforms(self) -> int:
@@ -94,13 +101,67 @@ class _PartyPair:
         self.sk, self.pk = self.ctx.keygen(rng)
 
 
-class HybridConvProtocol:
+class _ResilientProtocolMixin:
+    """Transport routing and budget-guard helpers shared by the protocols.
+
+    Expects ``self.params``, ``self.backend``, ``self.transport`` and
+    ``self.guard`` attributes on the concrete protocol class.
+    """
+
+    def _transfer_ct(self, ct: Ciphertext, stats: ProtocolStats) -> Ciphertext:
+        """Route one ciphertext through the resilient transport.
+
+        Identity when no transport is configured.  Retry/timeout/checksum
+        counters accumulated by the session during this transfer are
+        attributed to ``stats`` (per-layer / per-item accounting).
+        """
+        if self.transport is None:
+            return ct
+        before = self.transport.stats
+        base = (
+            before.retries,
+            before.timeouts,
+            before.checksum_failures + before.decode_failures,
+            before.dead_letters,
+        )
+        try:
+            return self.transport.transfer_ciphertext(ct, self.params)
+        finally:
+            after = self.transport.stats
+            stats.retries += after.retries - base[0]
+            stats.timeouts += after.timeouts - base[1]
+            stats.checksum_failures += (
+                after.checksum_failures + after.decode_failures - base[2]
+            )
+            stats.dead_letters += after.dead_letters - base[3]
+
+    def _guarded(self) -> bool:
+        """Degradation applies only where an exact fallback exists: the
+        approximate-FFT backends (the exact paths have nothing to fall
+        back to -- undersized parameters there are a hard error)."""
+        return self.guard is not None and isinstance(
+            self.backend, FftPolyMulBackend
+        )
+
+
+class HybridConvProtocol(_ResilientProtocolMixin):
     """Private convolution via coefficient-encoded BFV (Cheetah-style).
 
     Args:
         params: BFV parameters; ``t`` must be a power of two.
         shape: convolution shape (stride/padding supported).
         backend: polynomial multiplication backend (exact NTT default).
+        transport: optional :class:`repro.faults.ResilientSession`; all
+            ciphertext traffic (client->server activations, server->client
+            results) then crosses its checksummed channel with bounded
+            retry, and the retry/timeout/dead-letter counts land in
+            :class:`ProtocolStats`.
+        guard: optional :class:`repro.faults.BudgetGuard` watching the
+            approximate path for noise-budget exhaustion (predicted via
+            :mod:`repro.he.noise` before the run, observed after); under
+            the ``"fallback"`` policy the layer transparently reruns on
+            the exact NTT backend.  Ignored for exact backends.
+        layer_name: label used in guard degradation events.
     """
 
     def __init__(
@@ -108,10 +169,25 @@ class HybridConvProtocol:
         params: BfvParameters,
         shape: ConvShape,
         backend: Optional[PolyMulBackend] = None,
+        transport=None,
+        guard=None,
+        layer_name: str = "conv",
     ):
         self.params = params
         self.shape = shape
         self.backend = backend
+        self.transport = transport
+        self.guard = guard
+        self.layer_name = layer_name
+
+    def _fallback_protocol(self) -> "HybridConvProtocol":
+        return HybridConvProtocol(
+            self.params,
+            self.shape,
+            self.guard.fallback_backend(),
+            transport=self.transport,
+            layer_name=self.layer_name,
+        )
 
     def run(
         self,
@@ -130,9 +206,34 @@ class HybridConvProtocol:
             session: optional pre-generated key material (reuse across
                 layers).
         """
+        party = session or _PartyPair(self.params, rng)
+        if self._guarded():
+            # Channel tiling accumulates at most in_channels partial sums.
+            if self.guard.preflight(
+                w,
+                num_accumulated=self.shape.in_channels,
+                layer=self.layer_name,
+            ):
+                result = self._fallback_protocol().run(x, w, rng, session=party)
+                result.stats.degraded = True
+                return result
+        result = self._run_once(x, w, rng, party)
+        if self._guarded() and self.guard.observe(
+            result.max_error, layer=self.layer_name
+        ):
+            result = self._fallback_protocol().run(x, w, rng, session=party)
+            result.stats.degraded = True
+        return result
+
+    def _run_once(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        rng: np.random.Generator,
+        party: _PartyPair,
+    ) -> ProtocolResult:
         from repro.encoding.plain_eval import conv2d_direct
 
-        party = session or _PartyPair(self.params, rng)
         ring, ctx = party.ring, party.ctx
         stats = ProtocolStats()
 
@@ -222,9 +323,38 @@ class HybridConvProtocol:
         Returns:
             one :class:`ProtocolResult` per batch item, in order.
         """
+        party = session or _PartyPair(self.params, rng)
+        if self._guarded():
+            if self.guard.preflight(
+                w,
+                num_accumulated=self.shape.in_channels,
+                layer=self.layer_name,
+            ):
+                results = self._fallback_protocol().run_batch(
+                    xs, w, rng, session=party
+                )
+                for result in results:
+                    result.stats.degraded = True
+                return results
+        results = self._run_batch_once(xs, w, rng, party)
+        worst = max((r.max_error for r in results), default=0)
+        if self._guarded() and self.guard.observe(worst, layer=self.layer_name):
+            results = self._fallback_protocol().run_batch(
+                xs, w, rng, session=party
+            )
+            for result in results:
+                result.stats.degraded = True
+        return results
+
+    def _run_batch_once(
+        self,
+        xs: np.ndarray,
+        w: np.ndarray,
+        rng: np.random.Generator,
+        party: _PartyPair,
+    ) -> List[ProtocolResult]:
         from repro.encoding.plain_eval import conv2d_direct
 
-        party = session or _PartyPair(self.params, rng)
         ring = party.ring
 
         xs = np.asarray(xs, dtype=np.int64)
@@ -340,6 +470,8 @@ class HybridConvProtocol:
             stats[item].input_transforms += len(cts)
             stats[item].weight_transforms += counts["weight_forward"]
             stats[item].inverse_transforms += counts["inverse"]
+            # Client -> server hop (resilient transport when configured).
+            cts = [self._transfer_ct(ct, stats[item]) for ct in cts]
             server_polys = enc.encode_input(xs_items[item])
             all_full_cts.append(
                 [
@@ -388,6 +520,8 @@ class HybridConvProtocol:
                 ct_out = ctx.sub_plain(acc, r)
                 stats[item].ciphertexts_returned += 1
                 stats[item].bytes_received += ciphertext_bytes(self.params)
+                # Server -> client hop.
+                ct_out = self._transfer_ct(ct_out, stats[item])
                 stats[item].min_noise_budget = min(
                     stats[item].min_noise_budget,
                     ctx.noise_budget(party.sk, ct_out),
@@ -421,6 +555,8 @@ class HybridConvProtocol:
         stats.ciphertexts_sent += len(cts)
         stats.bytes_sent += len(cts) * ciphertext_bytes(self.params)
         stats.input_transforms += len(cts)
+        # Client -> server hop (resilient transport when configured).
+        cts = [self._transfer_ct(ct, stats) for ct in cts]
 
         # Server: reconstruct activation under encryption, multiply, mask.
         server_polys = enc.encode_input(xs)
@@ -449,6 +585,8 @@ class HybridConvProtocol:
             ct_out = ctx.sub_plain(acc, r)
             stats.ciphertexts_returned += 1
             stats.bytes_received += ciphertext_bytes(self.params)
+            # Server -> client hop.
+            ct_out = self._transfer_ct(ct_out, stats)
             stats.min_noise_budget = min(
                 stats.min_noise_budget, ctx.noise_budget(party.sk, ct_out)
             )
@@ -497,18 +635,36 @@ class HybridConvProtocol:
         }
 
 
-class HybridLinearProtocol:
-    """Private fully-connected layer ``y = W @ x`` (same one-round flow)."""
+class HybridLinearProtocol(_ResilientProtocolMixin):
+    """Private fully-connected layer ``y = W @ x`` (same one-round flow).
+
+    ``transport`` and ``guard`` behave as on :class:`HybridConvProtocol`.
+    """
 
     def __init__(
         self,
         params: BfvParameters,
         shape: LinearShape,
         backend: Optional[PolyMulBackend] = None,
+        transport=None,
+        guard=None,
+        layer_name: str = "linear",
     ):
         self.params = params
         self.shape = shape
         self.backend = backend
+        self.transport = transport
+        self.guard = guard
+        self.layer_name = layer_name
+
+    def _fallback_protocol(self) -> "HybridLinearProtocol":
+        return HybridLinearProtocol(
+            self.params,
+            self.shape,
+            self.guard.fallback_backend(),
+            transport=self.transport,
+            layer_name=self.layer_name,
+        )
 
     def run(
         self,
@@ -518,6 +674,26 @@ class HybridLinearProtocol:
         session: Optional[_PartyPair] = None,
     ) -> ProtocolResult:
         party = session or _PartyPair(self.params, rng)
+        if self._guarded():
+            if self.guard.preflight(w, num_accumulated=1, layer=self.layer_name):
+                result = self._fallback_protocol().run(x, w, rng, session=party)
+                result.stats.degraded = True
+                return result
+        result = self._run_once(x, w, rng, party)
+        if self._guarded() and self.guard.observe(
+            result.max_error, layer=self.layer_name
+        ):
+            result = self._fallback_protocol().run(x, w, rng, session=party)
+            result.stats.degraded = True
+        return result
+
+    def _run_once(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        rng: np.random.Generator,
+        party: _PartyPair,
+    ) -> ProtocolResult:
         ring, ctx = party.ring, party.ctx
         stats = ProtocolStats()
         t = self.params.t
@@ -545,6 +721,8 @@ class HybridLinearProtocol:
         stats.ciphertexts_sent += len(cts)
         stats.bytes_sent += len(cts) * ciphertext_bytes(self.params)
         stats.input_transforms += len(cts)
+        # Client -> server hop (resilient transport when configured).
+        cts = [self._transfer_ct(ct, stats) for ct in cts]
 
         masked = {}
         masks = {}
@@ -562,6 +740,8 @@ class HybridLinearProtocol:
 
         client_products = {}
         for key, ct_out in masked.items():
+            # Server -> client hop.
+            ct_out = self._transfer_ct(ct_out, stats)
             stats.min_noise_budget = min(
                 stats.min_noise_budget, ctx.noise_budget(party.sk, ct_out)
             )

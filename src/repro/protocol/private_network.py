@@ -63,6 +63,16 @@ class PrivateInferenceTrace:
             default=float("inf"),
         )
 
+    @property
+    def total_retries(self) -> int:
+        """Transport retries across all layers (resilient sessions only)."""
+        return sum(s.retries for s in self.layer_stats)
+
+    @property
+    def degraded_layers(self) -> int:
+        """Layers that fell back from the approximate to the exact path."""
+        return sum(1 for s in self.layer_stats if s.degraded)
+
 
 class PrivateCnnEvaluator:
     """Run a quantized CNN privately, one HE round per compute layer.
@@ -73,6 +83,14 @@ class PrivateCnnEvaluator:
             worst-case sum-product (checked at construction).
         backend: polynomial-multiplication backend (exact NTT default;
             pass a FLASH backend for the approximate datapath).
+        transport: optional :class:`repro.faults.ResilientSession`; every
+            layer's ciphertext traffic then crosses its checksummed
+            channel with bounded retry (counts appear in the trace's
+            per-layer stats).
+        guard: optional :class:`repro.faults.BudgetGuard`; approximate
+            layers whose noise budget is predicted or observed exhausted
+            degrade per the guard's policy (``"fallback"`` reruns the
+            layer on the exact NTT backend).
     """
 
     def __init__(
@@ -80,12 +98,16 @@ class PrivateCnnEvaluator:
         net: QuantizedCnn,
         params: BfvParameters,
         backend: Optional[PolyMulBackend] = None,
+        transport=None,
+        guard=None,
     ):
         from repro.nn.quant import sum_product_bits
 
         self.net = net
         self.params = params
         self.backend = backend
+        self.transport = transport
+        self.guard = guard
         worst = sum_product_bits(
             net.a_bits, net.w_bits, net.max_sum_product_terms()
         )
@@ -124,7 +146,9 @@ class PrivateCnnEvaluator:
                     padding=spec.padding,
                 )
                 protocol = HybridConvProtocol(
-                    self.params, shape, self.backend
+                    self.params, shape, self.backend,
+                    transport=self.transport, guard=self.guard,
+                    layer_name=f"layer{len(layer_stats)}:conv",
                 )
                 result = protocol.run(x, spec.weight_q, rng, session=session)
                 layer_stats.append(result.stats)
@@ -137,7 +161,9 @@ class PrivateCnnEvaluator:
                     out_features=spec.weight_q.shape[0],
                 )
                 protocol = HybridLinearProtocol(
-                    self.params, shape, self.backend
+                    self.params, shape, self.backend,
+                    transport=self.transport, guard=self.guard,
+                    layer_name=f"layer{len(layer_stats)}:linear",
                 )
                 result = protocol.run(x, spec.weight_q, rng, session=session)
                 layer_stats.append(result.stats)
@@ -189,7 +215,9 @@ class PrivateCnnEvaluator:
                     padding=spec.padding,
                 )
                 protocol = HybridConvProtocol(
-                    self.params, shape, self.backend
+                    self.params, shape, self.backend,
+                    transport=self.transport, guard=self.guard,
+                    layer_name=f"layer{len(layer_stats[0])}:conv",
                 )
                 results = protocol.run_batch(
                     x, spec.weight_q, rng, session=session
@@ -210,7 +238,9 @@ class PrivateCnnEvaluator:
                     out_features=spec.weight_q.shape[0],
                 )
                 protocol = HybridLinearProtocol(
-                    self.params, shape, self.backend
+                    self.params, shape, self.backend,
+                    transport=self.transport, guard=self.guard,
+                    layer_name=f"layer{len(layer_stats[0])}:linear",
                 )
                 outs = []
                 for item in range(len(x)):

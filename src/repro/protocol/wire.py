@@ -38,31 +38,67 @@ def serialize_poly(poly: RingPoly) -> bytes:
 def deserialize_poly(data: bytes, params: BfvParameters) -> Tuple[RingPoly, int]:
     """Parse one polynomial; returns ``(poly, bytes_consumed)``.
 
+    The total message length is validated up front (before any residue is
+    touched), and every error message carries the byte offset of the
+    offending field so a corrupted or truncated stream can be triaged.
+
     Raises:
         ValueError: on malformed data or parameter mismatch.
     """
     if len(data) < _HEADER.size:
-        raise ValueError("truncated polynomial header")
+        raise ValueError(
+            f"truncated polynomial header at offset 0: need "
+            f"{_HEADER.size} bytes, have {len(data)}"
+        )
     magic, version, num_primes, n = _HEADER.unpack_from(data)
     if magic != _MAGIC:
-        raise ValueError("bad magic; not a serialized polynomial")
+        raise ValueError(
+            f"bad magic {magic!r} at offset 0; not a serialized polynomial"
+        )
     if version != _VERSION:
-        raise ValueError(f"unsupported version {version}")
+        raise ValueError(
+            f"unsupported version {version} at offset 4 "
+            f"(expected {_VERSION})"
+        )
     basis = params.basis
-    if n != basis.n or num_primes != len(basis.primes):
-        raise ValueError("parameter mismatch")
+    if num_primes != len(basis.primes):
+        raise ValueError(
+            f"parameter mismatch at offset 6: message has "
+            f"{num_primes} RNS primes, parameters have {len(basis.primes)}"
+        )
+    if n != basis.n:
+        raise ValueError(
+            f"parameter mismatch at offset 8: message degree {n}, "
+            f"parameters expect {basis.n}"
+        )
+    # Validate the whole body length before parsing any residue, so a
+    # truncation mid-stream fails here with exact byte accounting instead
+    # of part-way through with state already built.
+    total = _HEADER.size + num_primes * (8 + 8 * n)
+    if len(data) < total:
+        raise ValueError(
+            f"truncated polynomial body at offset {len(data)}: need "
+            f"{total} bytes total, have {len(data)} "
+            f"(short by {total - len(data)})"
+        )
     offset = _HEADER.size
     residues: List[np.ndarray] = []
     for expected_prime in basis.primes:
-        if len(data) < offset + 8 + 8 * n:
-            raise ValueError("truncated polynomial body")
         (prime,) = struct.unpack_from("<Q", data, offset)
         if prime != expected_prime:
-            raise ValueError("RNS prime mismatch")
+            raise ValueError(
+                f"RNS prime mismatch at offset {offset}: message has "
+                f"{prime}, parameters expect {expected_prime}"
+            )
         offset += 8
         res = np.frombuffer(data, dtype="<u8", count=n, offset=offset).copy()
-        if np.any(res >= np.uint64(prime)):
-            raise ValueError("residue out of range")
+        bad = np.nonzero(res >= np.uint64(prime))[0]
+        if bad.size:
+            word = int(bad[0])
+            raise ValueError(
+                f"residue out of range at offset {offset + 8 * word}: "
+                f"word {word} is {int(res[word])} >= prime {prime}"
+            )
         residues.append(res)
         offset += 8 * n
     return RingPoly(basis, residues), offset
@@ -77,7 +113,10 @@ def deserialize_ciphertext(data: bytes, params: BfvParameters) -> Ciphertext:
     c0, used = deserialize_poly(data, params)
     c1, used2 = deserialize_poly(data[used:], params)
     if used + used2 != len(data):
-        raise ValueError("trailing bytes after ciphertext")
+        raise ValueError(
+            f"trailing bytes after ciphertext at offset {used + used2}: "
+            f"{len(data) - used - used2} extra"
+        )
     return Ciphertext(c0=c0, c1=c1)
 
 

@@ -18,7 +18,12 @@ from repro.runtime.engine import (
     RuntimeStats,
     fan_out,
 )
-from repro.runtime.plan_cache import PlanCache, approx_config_key, estimate_nbytes
+from repro.runtime.plan_cache import (
+    PlanCache,
+    approx_config_key,
+    estimate_nbytes,
+    value_digest,
+)
 
 __all__ = [
     "BatchedFftBackend",
@@ -29,4 +34,5 @@ __all__ = [
     "approx_config_key",
     "estimate_nbytes",
     "fan_out",
+    "value_digest",
 ]

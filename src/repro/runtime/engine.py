@@ -35,6 +35,7 @@ from repro.encoding.conv_encoding import (
     iter_row_bands,
     pad_input,
 )
+from repro.faults.inject import FaultRecovery
 from repro.fftcore.approx_pipeline import ApproxNegacyclic
 from repro.fftcore.fixed_point import ApproxFftConfig
 from repro.he.backend import FftPolyMulBackend, NttPolyMulBackend
@@ -52,21 +53,48 @@ def fan_out(
     jobs: Sequence,
     fn: Callable,
     max_workers: Optional[int],
+    recovery: Optional["FaultRecovery"] = None,
 ) -> list:
     """Run ``fn`` over ``jobs`` with deterministic result ordering.
 
     Serial fallback when ``max_workers`` is ``None``/``0``/``1`` or there is
     at most one job; otherwise a thread pool of ``max_workers`` threads.
-    ``ThreadPoolExecutor.map`` yields results in submission order, so the
-    output list is identical to the serial path for pure ``fn``.
+    Results are collected in submission order, so the output list is
+    identical to the serial path for pure ``fn``.
+
+    With a :class:`repro.faults.inject.FaultRecovery`, a job whose first
+    execution raises (a dying worker, a poisoned task) is retried once in
+    the submitting thread and the fault is recorded; the kernels are pure,
+    so the retried result is bit-identical.  A job that fails its retry
+    too propagates -- faults are survived, real bugs are not masked.
     """
     jobs = list(jobs)
     if not jobs:
         return []
+
+    def run_recovered(job):
+        try:
+            return fn(job)
+        except Exception as exc:
+            if recovery is None:
+                raise
+            recovery.record(exc)
+            return fn(job)
+
     if not max_workers or max_workers <= 1 or len(jobs) == 1:
-        return [fn(job) for job in jobs]
+        return [run_recovered(job) for job in jobs]
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(fn, jobs))
+        futures = [pool.submit(fn, job) for job in jobs]
+        results = []
+        for job, future in zip(jobs, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if recovery is None:
+                    raise
+                recovery.record(exc)
+                results.append(fn(job))
+        return results
 
 
 def _split_groups(items: Sequence, groups: int) -> List[list]:
@@ -85,6 +113,7 @@ class RuntimeStats:
     batch: int = 0
     products: int = 0
     workers: int = 1
+    worker_faults: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cache: Dict[str, float] = field(default_factory=dict)
 
@@ -99,6 +128,11 @@ class RuntimeStats:
         lines = [
             f"mode={self.mode} batch={self.batch} "
             f"products={self.products} workers={self.workers}"
+            + (
+                f" worker_faults={self.worker_faults} (recovered serially)"
+                if self.worker_faults
+                else ""
+            )
         ]
         for stage, seconds in sorted(
             self.stage_seconds.items(), key=lambda kv: -kv[1]
@@ -152,10 +186,15 @@ class BatchedHConvEngine:
         mode: ``"ntt"`` (exact), ``"fft"`` (float64 folded FFT) or
             ``"flash"`` (approximate fixed-point weight transforms).
         weight_config: fixed-point configuration for ``mode="flash"``.
-        plan_cache: shared :class:`PlanCache`; a fresh bounded cache when
-            omitted.
+        plan_cache: shared :class:`PlanCache`; a fresh bounded cache with
+            entry-integrity checking when omitted (a tampered cached
+            spectrum is evicted and recomputed rather than served).
         max_workers: thread-pool width for the pointwise/inverse stage;
             ``None``/``0``/``1`` selects the serial fallback.
+        fault_injector: optional
+            :class:`repro.faults.inject.WorkerFaultInjector` poisoning
+            parallel jobs (chaos testing); recovered faults appear in
+            ``last_stats.worker_faults``.
     """
 
     MODES = ("ntt", "fft", "flash")
@@ -166,6 +205,7 @@ class BatchedHConvEngine:
         weight_config: Optional[ApproxFftConfig] = None,
         plan_cache: Optional[PlanCache] = None,
         max_workers: Optional[int] = None,
+        fault_injector=None,
     ):
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
@@ -179,10 +219,15 @@ class BatchedHConvEngine:
         # (PlanCache defines __len__), so test identity explicitly.
         self.plan_cache = (
             plan_cache if plan_cache is not None
-            else PlanCache(capacity_bytes=64 << 20)
+            else PlanCache(capacity_bytes=64 << 20, check_integrity=True)
         )
         self.max_workers = max_workers
+        self.fault_injector = fault_injector
         self.last_stats = RuntimeStats(mode=mode)
+
+    def _maybe_poison(self, tag) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.poison(tag)
 
     # -- plan / spectrum helpers ----------------------------------------
 
@@ -376,8 +421,18 @@ class BatchedHConvEngine:
                 return _round_rows_exact(coeffs)
 
         groups = _split_groups(pairs, self._workers())
+        recovery = FaultRecovery()
+
+        def indexed_job(group_index: int) -> np.ndarray:
+            self._maybe_poison(("group", group_index))
+            return group_job(groups[group_index])
+
         with _Timer(stats, "pointwise+inverse"):
-            group_rows = fan_out(groups, group_job, self.max_workers)
+            group_rows = fan_out(
+                range(len(groups)), indexed_job, self.max_workers,
+                recovery=recovery,
+            )
+        stats.worker_faults += recovery.faults
         stats.products += len(pairs) * batch
 
         with _Timer(stats, "decode"):
@@ -406,19 +461,29 @@ class BatchedNttBackend(NttPolyMulBackend):
     calls stack every polynomial's residues per RNS limb and run one
     ``forward_batch`` / ``inverse_batch`` pass per limb, with limbs fanned
     across the worker pool.  Weight spectra are cached per
-    ``(degree, prime, weight-bytes)`` in the :class:`PlanCache`.
+    ``(degree, prime, weight-bytes)`` in the :class:`PlanCache` (integrity
+    checked: tampered spectra are evicted and recomputed).  A worker that
+    raises mid-limb is retried serially -- bit-identical output, fault
+    recorded in ``last_stats.worker_faults``.
     """
 
     def __init__(
         self,
         plan_cache: Optional[PlanCache] = None,
         max_workers: Optional[int] = None,
+        fault_injector=None,
     ):
         self.plan_cache = (
             plan_cache if plan_cache is not None
-            else PlanCache(capacity_bytes=64 << 20)
+            else PlanCache(capacity_bytes=64 << 20, check_integrity=True)
         )
         self.max_workers = max_workers
+        self.fault_injector = fault_injector
+        self.last_stats = RuntimeStats(mode="ntt")
+
+    def _maybe_poison(self, tag) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.poison(tag)
 
     def _weight_residue_spectrum(
         self, n: int, prime: int, weights: np.ndarray
@@ -466,14 +531,24 @@ class BatchedNttBackend(NttPolyMulBackend):
             )
 
         def limb_job(limb: int) -> np.ndarray:
+            self._maybe_poison(("limb", limb))
             prime = basis.primes[limb]
             plan = get_ntt(basis.n, prime)
             rows = np.stack([p.residues[limb] for p in polys])
             spec = mulmod(plan.forward_batch(rows), w_rows_per_limb[limb], prime)
             return plan.inverse_batch(spec)
 
+        recovery = FaultRecovery()
         limb_rows = fan_out(
-            range(len(basis.primes)), limb_job, self.max_workers
+            range(len(basis.primes)), limb_job, self.max_workers,
+            recovery=recovery,
+        )
+        self.last_stats = RuntimeStats(
+            mode="ntt",
+            batch=count,
+            products=count,
+            workers=self.max_workers or 1,
+            worker_faults=recovery.faults,
         )
         return [
             RingPoly(basis, [limb_rows[l][i] for l in range(len(basis.primes))])
@@ -496,10 +571,17 @@ class BatchedFftBackend(FftPolyMulBackend):
         self,
         weight_config: Optional[ApproxFftConfig] = None,
         max_workers: Optional[int] = None,
+        fault_injector=None,
         **kwargs,
     ):
         super().__init__(weight_config=weight_config, **kwargs)
         self.max_workers = max_workers
+        self.fault_injector = fault_injector
+        self.last_stats = RuntimeStats(mode="flash")
+
+    def _maybe_poison(self, tag) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.poison(tag)
 
     def multiply_many(
         self, polys: List[RingPoly], weights_list: List[np.ndarray]
@@ -518,19 +600,36 @@ class BatchedFftBackend(FftPolyMulBackend):
             ]
         )
 
-        def lift_job(poly: RingPoly) -> np.ndarray:
+        def lift_job(index: int) -> np.ndarray:
+            self._maybe_poison(("lift", index))
             return np.array(
-                [float(v) for v in poly.to_centered()], dtype=np.float64
+                [float(v) for v in polys[index].to_centered()],
+                dtype=np.float64,
             )
 
-        lifts = fan_out(polys, lift_job, self.max_workers)
+        recovery = FaultRecovery()
+        lifts = fan_out(
+            range(len(polys)), lift_job, self.max_workers, recovery=recovery
+        )
         a_spec = pipe.activation_forward_batch(np.stack(lifts))
         products = pipe.multiply_spectra_batch(w_rows, a_spec)
 
-        def reduce_job(row: np.ndarray) -> RingPoly:
-            ints = [int(round(float(v))) % q for v in row]
+        def reduce_job(index: int) -> RingPoly:
+            self._maybe_poison(("reduce", index))
+            ints = [int(round(float(v))) % q for v in products[index]]
             return RingPoly(
                 basis, basis.to_rns(np.array(ints, dtype=object))
             )
 
-        return fan_out(list(products), reduce_job, self.max_workers)
+        out = fan_out(
+            range(len(products)), reduce_job, self.max_workers,
+            recovery=recovery,
+        )
+        self.last_stats = RuntimeStats(
+            mode="flash",
+            batch=len(polys),
+            products=len(polys),
+            workers=self.max_workers or 1,
+            worker_faults=recovery.faults,
+        )
+        return out

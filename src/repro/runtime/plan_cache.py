@@ -22,6 +22,7 @@ Two full-cache policies exist because the paper needs both:
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional, Tuple
 
@@ -58,6 +59,55 @@ def estimate_nbytes(value: Any) -> int:
     return 0
 
 
+def value_digest(value: Any) -> Optional[int]:
+    """CRC32 digest of the array content of a cached value.
+
+    Walks the same structures as :func:`estimate_nbytes` (arrays,
+    containers of arrays, spectrum objects with ``values`` arrays) and
+    folds their raw bytes, dtypes and shapes into one CRC32.  Returns
+    ``None`` for values with no digestible content (e.g. opaque transform
+    plans), which the integrity check then skips.
+    """
+    import numpy as np
+
+    state = {"crc": 0, "found": False}
+
+    def mix(data: bytes) -> None:
+        state["crc"] = zlib.crc32(data, state["crc"])
+        state["found"] = True
+
+    def walk(v: Any) -> None:
+        if v is None:
+            return
+        if isinstance(v, np.ndarray):
+            mix(np.ascontiguousarray(v).tobytes())
+            mix(repr((v.dtype.str, v.shape)).encode())
+            return
+        if isinstance(v, (list, tuple)):
+            for item in v:
+                walk(item)
+            return
+        if isinstance(v, dict):
+            for item in v.values():
+                walk(item)
+            return
+        if isinstance(v, (bytes, bytearray)):
+            mix(bytes(v))
+            return
+        if isinstance(v, (bool, int, float, complex, str, np.generic)):
+            mix(repr(v).encode())
+            return
+        values = getattr(v, "values", None)
+        if isinstance(values, np.ndarray):
+            walk(values)
+            walk(getattr(v, "scale", None))
+            return
+        # Opaque objects (transform plans etc.): nothing to digest.
+
+    walk(value)
+    return state["crc"] if state["found"] else None
+
+
 class PlanCache:
     """Keyed LRU cache with byte accounting and hit/miss statistics.
 
@@ -68,6 +118,10 @@ class PlanCache:
             ``"error"`` (raise :class:`MemoryError` when the byte budget is
             exceeded -- the paper's memory-wall model).
         sizeof: override for the byte estimator.
+        check_integrity: digest each entry's array content at insert
+            (:func:`value_digest`) and re-verify on every hit; a tampered
+            entry is evicted and counted in ``corruptions`` instead of
+            being served, so the caller transparently recomputes it.
     """
 
     def __init__(
@@ -76,6 +130,7 @@ class PlanCache:
         max_entries: Optional[int] = None,
         on_full: str = "evict",
         sizeof: Optional[Callable[[Any], int]] = None,
+        check_integrity: bool = False,
     ):
         if on_full not in ("evict", "error"):
             raise ValueError(f"unknown on_full policy {on_full!r}")
@@ -87,12 +142,32 @@ class PlanCache:
         self.max_entries = max_entries
         self.on_full = on_full
         self._sizeof = sizeof or estimate_nbytes
-        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self.check_integrity = check_integrity
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int, Optional[int]]]" = (
+            OrderedDict()
+        )
         self._bytes = 0
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruptions = 0
+
+    def _intact_locked(self, key: Hashable) -> bool:
+        """Verify (and on mismatch evict) the entry under ``key``.
+
+        Returns ``False`` when the entry was corrupted and dropped; callers
+        then treat the lookup as a miss and rebuild.
+        """
+        if not self.check_integrity:
+            return True
+        value, size, digest = self._entries[key]
+        if digest is None or value_digest(value) == digest:
+            return True
+        self._entries.pop(key)
+        self._bytes -= size
+        self.corruptions += 1
+        return False
 
     # -- inspection ------------------------------------------------------
 
@@ -121,6 +196,7 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "corruptions": self.corruptions,
             "hit_rate": self.hit_rate,
         }
 
@@ -132,7 +208,7 @@ class PlanCache:
 
     def __getitem__(self, key: Hashable) -> Any:
         with self._lock:
-            if key not in self._entries:
+            if key not in self._entries or not self._intact_locked(key):
                 raise KeyError(key)
             self._entries.move_to_end(key)
             return self._entries[key][0]
@@ -145,7 +221,7 @@ class PlanCache:
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its LRU position on a hit."""
         with self._lock:
-            if key in self._entries:
+            if key in self._entries and self._intact_locked(key):
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return self._entries[key][0]
@@ -159,6 +235,7 @@ class PlanCache:
         entry exceeds the whole byte budget under the eviction policy).
         """
         size = self._sizeof(value) if nbytes is None else int(nbytes)
+        digest = value_digest(value) if self.check_integrity else None
         with self._lock:
             if (
                 self.on_full == "evict"
@@ -172,7 +249,7 @@ class PlanCache:
                 return value
             if key in self._entries:
                 self._bytes -= self._entries.pop(key)[1]
-            self._entries[key] = (value, size)
+            self._entries[key] = (value, size, digest)
             self._bytes += size
             if self.on_full == "error":
                 if (
@@ -199,7 +276,7 @@ class PlanCache:
                 and len(self._entries) > self.max_entries
             )
         ):
-            _, (_, size) = self._entries.popitem(last=False)
+            _, (_, size, _) = self._entries.popitem(last=False)
             self._bytes -= size
             self.evictions += 1
 
@@ -216,14 +293,14 @@ class PlanCache:
         wins, keeping results deterministic for pure builders.
         """
         with self._lock:
-            if key in self._entries:
+            if key in self._entries and self._intact_locked(key):
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return self._entries[key][0]
             self.misses += 1
         value = build()
         with self._lock:
-            if key in self._entries:
+            if key in self._entries and self._intact_locked(key):
                 self._entries.move_to_end(key)
                 return self._entries[key][0]
         return self.put(key, value, nbytes=nbytes)

@@ -1,0 +1,165 @@
+"""Fuzzing the wire format: mutations must fail loudly, never crash oddly.
+
+Two layers are fuzzed:
+
+* bare :func:`repro.protocol.wire.deserialize_poly` /
+  ``deserialize_ciphertext`` -- any byte mutation or truncation raises
+  :class:`ValueError` (with a byte offset) or parses; nothing else escapes;
+* CRC32-framed messages (:mod:`repro.faults.channel`) -- any mutation is
+  either *detected* (``ValueError`` / ``ChecksumError``) or changes only
+  the sequence number, which the session layer rejects; the payload can
+  never silently change.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import ChecksumError, decode_frame, encode_frame
+from repro.he import BfvContext, toy_preset
+from repro.protocol.wire import (
+    _HEADER,
+    _MAGIC,
+    _VERSION,
+    deserialize_ciphertext,
+    deserialize_poly,
+    serialize_ciphertext,
+    serialize_poly,
+)
+
+PARAMS = toy_preset(n=64)
+
+
+def _wire_ciphertext(seed=0):
+    ctx = BfvContext(PARAMS)
+    rng = np.random.default_rng(seed)
+    sk, pk = ctx.keygen(rng)
+    ct = ctx.encrypt(pk, rng.integers(0, PARAMS.t, size=PARAMS.n), rng)
+    return serialize_ciphertext(ct)
+
+
+WIRE = _wire_ciphertext()
+POLY_WIRE = serialize_poly(
+    BfvContext(PARAMS).keygen(np.random.default_rng(1))[1].p1
+)
+
+
+class TestHeaderFieldFuzz:
+    @given(version=st.integers(min_value=0, max_value=0xFFFF))
+    def test_any_wrong_version_is_value_error(self, version):
+        data = bytearray(POLY_WIRE)
+        struct.pack_into("<H", data, 4, version)
+        if version == _VERSION:
+            deserialize_poly(bytes(data), PARAMS)
+            return
+        with pytest.raises(ValueError, match="offset 4"):
+            deserialize_poly(bytes(data), PARAMS)
+
+    @given(num_primes=st.integers(min_value=0, max_value=0xFFFF))
+    def test_any_wrong_num_primes_is_value_error(self, num_primes):
+        data = bytearray(POLY_WIRE)
+        struct.pack_into("<H", data, 6, num_primes)
+        if num_primes == len(PARAMS.basis.primes):
+            deserialize_poly(bytes(data), PARAMS)
+            return
+        with pytest.raises(ValueError, match="offset 6"):
+            deserialize_poly(bytes(data), PARAMS)
+
+    @given(n=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_any_wrong_degree_is_value_error(self, n):
+        data = bytearray(POLY_WIRE)
+        struct.pack_into("<I", data, 8, n)
+        if n == PARAMS.n:
+            deserialize_poly(bytes(data), PARAMS)
+            return
+        with pytest.raises(ValueError, match="offset 8"):
+            deserialize_poly(bytes(data), PARAMS)
+
+    @given(magic=st.binary(min_size=4, max_size=4))
+    def test_any_wrong_magic_is_value_error(self, magic):
+        data = magic + POLY_WIRE[4:]
+        if magic == _MAGIC:
+            deserialize_poly(data, PARAMS)
+            return
+        with pytest.raises(ValueError, match="offset 0"):
+            deserialize_poly(data, PARAMS)
+
+
+class TestTruncationFuzz:
+    def test_every_boundary_truncation_is_value_error_with_offset(self):
+        # Every prefix at a field boundary fails loudly with an offset.
+        n = PARAMS.n
+        boundaries = [0, 2, 4, 6, 8, _HEADER.size]
+        offset = _HEADER.size
+        for _ in PARAMS.basis.primes:
+            boundaries.extend([offset + 4, offset + 8, offset + 8 + 4 * n])
+            offset += 8 + 8 * n
+        for cut in boundaries:
+            if cut >= len(POLY_WIRE):
+                continue
+            with pytest.raises(ValueError, match="offset"):
+                deserialize_poly(POLY_WIRE[:cut], PARAMS)
+
+    @given(cut=st.integers(min_value=0, max_value=len(WIRE) - 1))
+    def test_any_truncation_is_value_error(self, cut):
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(WIRE[:cut], PARAMS)
+
+    def test_trailing_bytes_rejected_with_offset(self):
+        with pytest.raises(ValueError, match=f"offset {len(WIRE)}"):
+            deserialize_ciphertext(WIRE + b"\x00" * 3, PARAMS)
+
+
+class TestByteMutationFuzz:
+    @settings(max_examples=300)
+    @given(
+        index=st.integers(min_value=0, max_value=len(WIRE) - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def test_bare_wire_mutation_never_crashes_oddly(self, index, bit):
+        """Unframed wire: mutations raise ValueError or parse; nothing else.
+
+        (A mutated residue word can still parse as a *different* valid
+        polynomial -- that is exactly why ciphertexts travel inside CRC32
+        frames; see the framed test below.)
+        """
+        data = bytearray(WIRE)
+        data[index] ^= 1 << bit
+        try:
+            deserialize_ciphertext(bytes(data), PARAMS)
+        except ValueError:
+            pass  # includes ChecksumError; anything else propagates = fail
+
+    @settings(max_examples=300)
+    @given(
+        index=st.integers(min_value=0, max_value=len(WIRE) + 15),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def test_framed_wire_mutation_never_silently_alters_payload(
+        self, index, bit
+    ):
+        frame = bytearray(encode_frame(21, WIRE))
+        frame[index] ^= 1 << bit
+        try:
+            seq, payload = decode_frame(bytes(frame))
+        except (ChecksumError, ValueError):
+            return  # detected: the session retries
+        # Undetected decode: only a seq-field flip survives the CRC, and
+        # the payload is untouched.  The session discards foreign seqs.
+        assert payload == WIRE
+        assert seq != 21
+
+    @settings(max_examples=200)
+    @given(
+        data=st.binary(min_size=0, max_size=200),
+    )
+    def test_random_garbage_never_crashes_oddly(self, data):
+        with pytest.raises(ValueError):
+            deserialize_poly(data + b"\x01", PARAMS)  # never a valid poly
+        try:
+            decode_frame(data)
+        except (ChecksumError, ValueError):
+            pass

@@ -132,3 +132,141 @@ class TestNumericalEdges:
         result = HybridConvProtocol(params, shape).run(x, w, rng)
         assert result.exact
         assert result.reconstructed.shape == (1, 1, 1)
+
+
+class TestNoiseBudgetGuard:
+    """Graceful approx->exact degradation when the noise budget runs out."""
+
+    SHAPE = ConvShape(
+        in_channels=1, height=4, width=4, out_channels=1,
+        kernel_h=3, kernel_w=3, stride=1, padding=1,
+    )
+
+    def _inputs(self, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(-3, 4, size=(1, 4, 4))
+        w = rng.integers(-2, 3, size=(1, 1, 3, 3))
+        return x, w
+
+    def _undersized_params(self):
+        from repro.he import BfvParameters
+
+        # Single 30-bit prime against t = 2^18: the predicted margin of
+        # this kernel goes negative (the approximate path cannot absorb
+        # its own rounding error here).
+        return BfvParameters(n=64, plain_modulus=1 << 18, q_bits=(30,))
+
+    def _bad_fft_backend(self):
+        from repro.fftcore.fixed_point import ApproxFftConfig
+        from repro.he.backend import FftPolyMulBackend
+
+        # Aggressive approximation the noise model does not see: errors
+        # surface only in the observed reconstructed-vs-expected check.
+        cfg = ApproxFftConfig(
+            n=32, stage_widths=12, twiddle_k=2, twiddle_max_shift=8
+        )
+        return FftPolyMulBackend(weight_config=cfg)
+
+    def test_undersized_q_triggers_predicted_fallback_bit_exact(self):
+        from repro.faults import BudgetGuard
+        from repro.he.backend import FftPolyMulBackend
+        from repro.protocol import make_session
+
+        params = self._undersized_params()
+        x, w = self._inputs()
+        from repro.he.noise import conv_budget_margin_bits
+
+        assert conv_budget_margin_bits(params, w, 1) < 1.0
+
+        guard = BudgetGuard(params, policy="fallback")
+        guarded = HybridConvProtocol(
+            params, self.SHAPE, backend=FftPolyMulBackend(),
+            guard=guard, layer_name="conv0",
+        ).run(x, w, np.random.default_rng(42),
+              session=make_session(params, np.random.default_rng(9)))
+        exact = HybridConvProtocol(params, self.SHAPE).run(
+            x, w, np.random.default_rng(42),
+            session=make_session(params, np.random.default_rng(9)),
+        )
+        assert guarded.stats.degraded
+        assert guard.events[0].reason == "predicted"
+        assert guard.degraded_layers == ["conv0"]
+        # Bit-exact vs the exact-NTT protocol under the same randomness.
+        assert np.array_equal(guarded.reconstructed, exact.reconstructed)
+        assert np.array_equal(guarded.client_share, exact.client_share)
+
+    def test_observed_error_triggers_fallback_to_exact_result(self):
+        from repro.faults import BudgetGuard
+        from repro.he import toy_preset as preset
+
+        params = preset(n=64)
+        x, w = self._inputs(1)
+        guard = BudgetGuard(params, policy="fallback")
+        result = HybridConvProtocol(
+            params, self.SHAPE, backend=self._bad_fft_backend(),
+            guard=guard, layer_name="conv0",
+        ).run(x, w, np.random.default_rng(1))
+        assert result.exact  # the fallback rerun is exact
+        assert result.stats.degraded
+        assert guard.events[0].reason == "observed"
+        assert guard.events[0].observed_error > 0
+
+    def test_run_batch_degrades_whole_batch(self):
+        from repro.faults import BudgetGuard
+        from repro.he import toy_preset as preset
+
+        params = preset(n=64)
+        rng = np.random.default_rng(2)
+        xs = rng.integers(-3, 4, size=(2, 1, 4, 4))
+        _, w = self._inputs(2)
+        guard = BudgetGuard(params, policy="fallback")
+        results = HybridConvProtocol(
+            params, self.SHAPE, backend=self._bad_fft_backend(), guard=guard,
+        ).run_batch(xs, w, rng)
+        assert all(r.exact and r.stats.degraded for r in results)
+        assert len(guard.events) == 1  # one degradation for the batch
+
+    def test_raise_policy_aborts_with_noise_budget_error(self):
+        from repro.faults import BudgetGuard, NoiseBudgetError
+        from repro.he.backend import FftPolyMulBackend
+
+        params = self._undersized_params()
+        x, w = self._inputs()
+        guard = BudgetGuard(params, policy="raise")
+        with pytest.raises(NoiseBudgetError, match="predicted"):
+            HybridConvProtocol(
+                params, self.SHAPE, backend=FftPolyMulBackend(), guard=guard,
+            ).run(x, w, np.random.default_rng(0))
+
+    def test_warn_policy_keeps_approximate_result(self):
+        from repro.faults import BudgetGuard
+        from repro.he import toy_preset as preset
+
+        params = preset(n=64)
+        x, w = self._inputs(3)
+        guard = BudgetGuard(params, policy="warn")
+        with pytest.warns(RuntimeWarning, match="observed"):
+            result = HybridConvProtocol(
+                params, self.SHAPE, backend=self._bad_fft_backend(),
+                guard=guard,
+            ).run(x, w, np.random.default_rng(3))
+        assert not result.stats.degraded  # kept the approximate output
+        assert result.max_error > 0
+
+    def test_guard_ignores_exact_backends(self):
+        from repro.faults import BudgetGuard
+
+        params = self._undersized_params()
+        x, w = self._inputs()
+        guard = BudgetGuard(params, policy="raise")
+        # Exact NTT backend: no fallback exists, the guard stays silent.
+        HybridConvProtocol(params, self.SHAPE, guard=guard).run(
+            x, w, np.random.default_rng(4)
+        )
+        assert guard.events == []
+
+    def test_guard_validates_policy(self):
+        from repro.faults import BudgetGuard
+
+        with pytest.raises(ValueError, match="policy"):
+            BudgetGuard(toy_preset(n=64), policy="panic")
