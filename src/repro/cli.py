@@ -250,6 +250,20 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
         f"n={args.n}, batch={args.batch}, workers={args.workers or 1}"
     )
     modes = ["ntt", "flash"] if args.mode == "both" else [args.mode]
+    trajectory = {
+        "params": {
+            "mode": args.mode,
+            "batch": args.batch,
+            "n": args.n,
+            "channels": args.channels,
+            "out_channels": args.out_channels,
+            "size": args.size,
+            "kernel": args.kernel,
+            "workers": args.workers or 1,
+            "seed": args.seed,
+        },
+        "modes": {},
+    }
     for mode in modes:
         engine = BatchedHConvEngine(
             mode=mode,
@@ -272,9 +286,10 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
 
         print(f"\n=== mode={mode} ===")
         print(engine.last_stats.describe())
+        identical = bool(np.array_equal(batched, serial))
         match = (
             "bit-identical"
-            if np.array_equal(batched, serial)
+            if identical
             else f"MISMATCH (max |diff| {np.abs(batched - serial).max()})"
         )
         print(
@@ -282,6 +297,23 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
             f"batched {batched_s * 1e3:9.2f} ms   "
             f"speedup {serial_s / batched_s:.2f}x   [{match}]"
         )
+        trajectory["modes"][mode] = {
+            "serial_ms": serial_s * 1e3,
+            "batched_ms": batched_s * 1e3,
+            "speedup": serial_s / batched_s,
+            "bit_identical": identical,
+            "stage_seconds": dict(engine.last_stats.stage_seconds),
+            "worker_faults": engine.last_stats.worker_faults,
+            "products": engine.last_stats.products,
+            "cache": engine.plan_cache.stats(),
+        }
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(trajectory, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -300,11 +332,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"chaos: {exc}", file=sys.stderr)
         return 2
     print(report.describe())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0 if report.survived else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
+        CONCURRENCY_RULE_IDS,
         all_rules,
         analyze_default_configs,
         get_rule,
@@ -320,10 +360,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             "BW001   [error]  approximate-FFT stage whose worst-case "
             "intermediate exceeds its register width (bit-width analyzer)"
         )
+        print(
+            "SUP001  [warning]  suppression comment names an unknown rule "
+            "ID (disables nothing)"
+        )
+        print(
+            "SUP002  [warning]  suppression comment carries no "
+            "justification"
+        )
         return 0
 
+    if args.concurrency and args.select:
+        print(
+            "repro lint: --concurrency and --select are mutually exclusive "
+            "(--concurrency is shorthand for selecting the RACE/LOCK/DET "
+            "rules)",
+            file=sys.stderr,
+        )
+        return 2
+
     rules = None
-    if args.select:
+    if args.concurrency:
+        rules = [get_rule(rid) for rid in CONCURRENCY_RULE_IDS]
+    elif args.select:
         try:
             rules = [get_rule(rid) for rid in args.select.split(",") if rid]
         except KeyError as exc:
@@ -336,9 +395,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"repro lint: no such path: {p}", file=sys.stderr)
         return 2
     result = lint_paths(args.paths, rules=rules)
+    if result.files_checked == 0:
+        print(
+            "repro lint: no Python files found under: "
+            + " ".join(args.paths),
+            file=sys.stderr,
+        )
+        return 2
 
     bitwidth_reports = {}
-    if not args.no_bitwidth:
+    if not args.no_bitwidth and not args.concurrency:
         bitwidth_reports = analyze_default_configs(include_space=args.space)
         # Only the deployed default gates the run; DSE-space corners are
         # informational (the space intentionally contains bad points).
@@ -417,6 +483,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=0,
                    help="thread-pool width (0 = serial)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="also write the benchmark trajectory as JSON")
 
     p = sub.add_parser(
         "chaos",
@@ -432,6 +500,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="polynomial degree of the probe parameters")
     p.add_argument("--workers", type=int, default=2,
                    help="thread-pool width for the runtime probe")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="also write the campaign report as JSON")
 
     p = sub.add_parser(
         "lint", help="domain-aware static analysis (MOD/DTYPE/HYG/BW rules)"
@@ -447,6 +517,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--select", default="",
         help="comma-separated rule IDs to run (default: all)",
+    )
+    p.add_argument(
+        "--concurrency", action="store_true",
+        help="run only the concurrency rules (RACE/LOCK/DET), skipping "
+             "the bit-width analyzer",
     )
     p.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"

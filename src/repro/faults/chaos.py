@@ -61,6 +61,14 @@ class ChaosIteration:
     def ok(self) -> bool:
         return self.transport_ok and self.degradation_ok and self.runtime_ok
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (``python -m repro chaos --json``)."""
+        out = dict(vars(self))
+        out["rates"] = dict(self.rates)
+        out["errors"] = list(self.errors)
+        out["ok"] = self.ok
+        return out
+
     def describe(self) -> str:
         flags = "".join(
             "Y" if ok else "n"
@@ -100,6 +108,17 @@ class ChaosReport:
     def survived(self) -> bool:
         """No probe ever completed with a wrong answer."""
         return self.silent_corruptions == 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready campaign trajectory for CI artifacts."""
+        return {
+            "seed": self.seed,
+            "max_rate": self.max_rate,
+            "survived": self.survived,
+            "silent_corruptions": self.silent_corruptions,
+            "loud_failures": self.loud_failures,
+            "iterations": [it.to_dict() for it in self.iterations],
+        }
 
     def describe(self) -> str:
         lines = [

@@ -16,6 +16,7 @@ bit-reproducible under a fixed seed.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -70,6 +71,12 @@ class RetryPolicy:
 class ResilientSession:
     """Reliable request pipe over an unreliable channel.
 
+    A session may be shared across worker threads (the batched runtime
+    fans ciphertext transfers out): sequence numbers are allocated and
+    statistics folded in under ``_lock``, and each in-flight transfer
+    tallies its counters locally so the lock is never held across a
+    channel round-trip.
+
     Args:
         channel: transport to send frames through (lossless by default).
         policy: retry/backoff/timeout parameters.
@@ -87,6 +94,33 @@ class ResilientSession:
         self.stats = TransportStats()
         self._rng = random.Random(seed)
         self._next_seq = 0
+        self._lock = threading.Lock()
+
+    def _allocate_seq(self) -> int:
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
+
+    def _draw_backoff(self, attempt: int) -> float:
+        # The shared PRNG is stateful; drawing under the lock keeps
+        # concurrent transfers from interleaving inside its state.
+        with self._lock:
+            return self.policy.backoff(attempt, self._rng)
+
+    def _fold_stats(self, tally: TransportStats) -> None:
+        with self._lock:
+            s = self.stats
+            s.messages += tally.messages
+            s.attempts += tally.attempts
+            s.retries += tally.retries
+            s.timeouts += tally.timeouts
+            s.checksum_failures += tally.checksum_failures
+            s.decode_failures += tally.decode_failures
+            s.duplicates_discarded += tally.duplicates_discarded
+            s.dead_letters += tally.dead_letters
+            s.backoff_seconds += tally.backoff_seconds
+            s.dead_letter_log.extend(tally.dead_letter_log)
 
     def transfer_bytes(self, payload: bytes) -> bytes:
         """Deliver ``payload`` across the channel, retrying detected faults.
@@ -98,46 +132,45 @@ class ResilientSession:
             TransportError: the attempt budget ran out; the message is
                 appended to ``stats.dead_letter_log`` first.
         """
-        seq = self._next_seq
-        self._next_seq += 1
+        seq = self._allocate_seq()
         frame = encode_frame(seq, payload)
-        self.stats.messages += 1
+        tally = TransportStats()
+        tally.messages += 1
         last_error = "no delivery"
         for attempt in range(1, self.policy.max_attempts + 1):
-            self.stats.attempts += 1
+            tally.attempts += 1
             if attempt > 1:
-                self.stats.retries += 1
-                self.stats.backoff_seconds += self.policy.backoff(
-                    attempt - 1, self._rng
-                )
+                tally.retries += 1
+                tally.backoff_seconds += self._draw_backoff(attempt - 1)
             deliveries = self.channel.transmit(frame)
             received: Optional[bytes] = None
             for latency, data in deliveries:
                 if latency > self.policy.timeout:
-                    self.stats.timeouts += 1
+                    tally.timeouts += 1
                     last_error = f"delivery exceeded {self.policy.timeout}s"
                     continue
                 try:
                     rseq, rpayload = decode_frame(data)
                 except ChecksumError as exc:
-                    self.stats.checksum_failures += 1
+                    tally.checksum_failures += 1
                     last_error = str(exc)
                     continue
                 except ValueError as exc:
-                    self.stats.decode_failures += 1
+                    tally.decode_failures += 1
                     last_error = str(exc)
                     continue
                 if rseq != seq or received is not None:
-                    self.stats.duplicates_discarded += 1
+                    tally.duplicates_discarded += 1
                     continue
                 received = rpayload
             if received is not None:
+                self._fold_stats(tally)
                 return received
             if not deliveries:
-                self.stats.timeouts += 1
+                tally.timeouts += 1
                 last_error = "frame dropped (nothing delivered)"
-        self.stats.dead_letters += 1
-        self.stats.dead_letter_log.append(
+        tally.dead_letters += 1
+        tally.dead_letter_log.append(
             DeadLetter(
                 seq=seq,
                 payload_bytes=len(payload),
@@ -145,6 +178,7 @@ class ResilientSession:
                 last_error=last_error,
             )
         )
+        self._fold_stats(tally)
         raise TransportError(
             f"message seq {seq} ({len(payload)} bytes) undeliverable after "
             f"{self.policy.max_attempts} attempts: {last_error}"

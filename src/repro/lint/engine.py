@@ -7,9 +7,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
-from repro.lint.findings import Finding
-from repro.lint.rules import Rule, RuleContext, all_rules
-from repro.lint.suppress import SuppressionIndex
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, RuleContext, all_rules, known_rule_ids
+from repro.lint.suppress import ALL, SuppressionIndex
 
 
 @dataclass
@@ -77,6 +77,69 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
     return out
 
 
+#: Rule IDs that are valid suppression targets but not AST-registry rules.
+_NON_AST_RULE_IDS = frozenset({"BW001", "SUP001", "SUP002"})
+
+
+def _validate_suppressions(
+    suppressions: SuppressionIndex, lines: Sequence[str], path: str
+) -> List[Finding]:
+    """Check the suppression comments themselves.
+
+    SUP001: a directive names a rule ID that does not exist -- a typo
+    like ``disable=RACE01`` silently disables nothing while the author
+    believes the site is audited.  SUP002: a directive carries no
+    justification; the reason is the audit trail that makes a suppression
+    reviewable (docs/static_analysis.md).
+    """
+    known = known_rule_ids() | _NON_AST_RULE_IDS
+    findings = []
+    for directive in suppressions.directives:
+        for rule_id in directive.rules:
+            if rule_id != ALL and rule_id not in known:
+                findings.append(
+                    Finding(
+                        rule_id="SUP001",
+                        severity=Severity.WARNING,
+                        path=path,
+                        line=directive.line,
+                        col=1,
+                        message=(
+                            f"suppression names unknown rule {rule_id!r} "
+                            "and disables nothing; fix the ID"
+                        ),
+                    )
+                )
+        if not directive.reason and not _has_reason_continuation(
+            lines, directive.line
+        ):
+            findings.append(
+                Finding(
+                    rule_id="SUP002",
+                    severity=Severity.WARNING,
+                    path=path,
+                    line=directive.line,
+                    col=1,
+                    message=(
+                        "suppression without a justification; state the "
+                        "bound or property that makes the pattern safe"
+                    ),
+                )
+            )
+    return findings
+
+
+def _has_reason_continuation(lines: Sequence[str], lineno: int) -> bool:
+    """A standalone-comment directive may carry its reason on the next
+    comment line (the documented multi-line justification form)."""
+    if lineno > len(lines) or not lines[lineno - 1].lstrip().startswith("#"):
+        return False
+    if lineno >= len(lines):
+        return False
+    nxt = lines[lineno].lstrip()
+    return nxt.startswith("#") and "repro-lint:" not in nxt
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -100,7 +163,8 @@ def lint_source(
     )
     suppressions = SuppressionIndex(lines)
     active = rules if rules is not None else all_rules()
-    for rule in active:
+    checked = list(active)
+    for rule in checked:
         if not rule.applies_to(ctx.module):
             continue
         for finding in rule.check(ctx):
@@ -108,6 +172,13 @@ def lint_source(
                 result.suppressed_count += 1
             else:
                 result.findings.append(finding)
+    # The suppression comments are linted too (always, regardless of rule
+    # selection: a broken directive is broken for every rule set).
+    for finding in _validate_suppressions(suppressions, lines, path):
+        if suppressions.is_suppressed(finding.rule_id, finding.line):
+            result.suppressed_count += 1
+        else:
+            result.findings.append(finding)
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return result
 

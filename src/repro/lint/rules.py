@@ -78,6 +78,11 @@ def all_rules() -> List[Rule]:
     return [_REGISTRY[rid]() for rid in sorted(_REGISTRY)]
 
 
+def known_rule_ids() -> set:
+    """IDs of every registered AST rule (for suppression validation)."""
+    return set(_REGISTRY)
+
+
 def get_rule(rule_id: str) -> Rule:
     try:
         return _REGISTRY[rule_id.upper()]()

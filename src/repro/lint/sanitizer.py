@@ -1,0 +1,373 @@
+"""Dynamic race sanitizer: vector-clock happens-before tracking (mini-TSan).
+
+The static rules in :mod:`repro.lint.rules_concurrency` *infer* a lock
+discipline; this module *observes* one.  A :class:`RaceSanitizer` tracks a
+vector clock per thread, per lock and per instrumented field:
+
+* releasing a :class:`SanitizedLock` publishes the releasing thread's
+  clock into the lock; acquiring joins it -- the classic lock-induced
+  happens-before edge;
+* every instrumented field access is checked against the field's last
+  write (and, for writes, its concurrent reads): an access by another
+  thread that the current clock has not yet observed is a data race.
+
+Races are *recorded*, never raised mid-flight (raising inside a worker
+would change the very interleaving under test); tests assert on
+``sanitizer.races`` afterwards.  Typical pytest usage::
+
+    san = RaceSanitizer()
+    cache = PlanCache(...)
+    instrument(cache, fields=("hits", "misses", "_bytes"),
+               mutable_fields=("_entries",), sanitizer=san)
+    san.start()                 # setup happens-before every worker
+    ... run the 8-worker stress ...
+    san.join_all()              # workers happen-before the assertions
+    assert san.races == []
+
+Instrumentation swaps the object's class for a generated subclass whose
+``__setattr__`` / ``__getattribute__`` report the named fields, and wraps
+the object's lock attributes in :class:`SanitizedLock` -- no source
+changes, and uninstrumented objects pay nothing.
+
+This is a test harness, not a production monitor: it serializes metadata
+updates behind one internal mutex, so it perturbs timing (like any
+sanitizer) and only detects races the schedule actually exhibits.  The
+pytest stress tests run enough iterations that a planted race is caught
+reliably; see ``tests/test_lint_sanitizer.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+
+class VectorClock:
+    """Map of thread id -> event counter with the usual lattice operations."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, counts: Optional[Dict[int, int]] = None):
+        self._c: Dict[int, int] = dict(counts) if counts else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def get(self, tid: int) -> int:
+        return self._c.get(tid, 0)
+
+    def increment(self, tid: int) -> None:
+        self._c[tid] = self._c.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place least upper bound (componentwise max)."""
+        for tid, count in other._c.items():
+            if count > self._c.get(tid, 0):
+                self._c[tid] = count
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """Componentwise ``<=`` (reflexive: a clock happens-before itself)."""
+        return all(count <= other.get(tid) for tid, count in self._c.items())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return {t: c for t, c in self._c.items() if c} == {
+            t: c for t, c in other._c.items() if c
+        }
+
+    def __hash__(self):
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"t{t}:{c}" for t, c in sorted(self._c.items()))
+        return f"VectorClock({inner})"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One detected happens-before violation."""
+
+    var: str
+    kind: str  # "write-write" | "read-write" | "write-read"
+    first_thread: int
+    second_thread: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind} race on {self.var}: thread {self.first_thread} "
+            f"vs thread {self.second_thread} (unordered by happens-before)"
+        )
+
+
+@dataclass
+class _VarState:
+    """Access history of one instrumented variable."""
+
+    last_write: Optional[Tuple[int, VectorClock]] = None
+    reads: Dict[int, VectorClock] = field(default_factory=dict)
+
+
+class RaceSanitizer:
+    """Vector-clock happens-before checker for locks and field accesses.
+
+    All metadata lives behind one internal mutex, so the sanitizer itself
+    is thread-safe; application-level happens-before is tracked purely
+    through the clocks, not through that mutex.
+    """
+
+    def __init__(self):
+        self._mu = threading.Lock()
+        self._thread_clocks: Dict[int, VectorClock] = {}
+        self._lock_clocks: Dict[int, VectorClock] = {}
+        self._lock_depths: Dict[Tuple[int, int], int] = {}
+        self._vars: Dict[Hashable, _VarState] = {}
+        self._genesis = VectorClock()
+        self.races: List[RaceReport] = []
+        self._race_keys: set = set()
+        self._tls = threading.local()
+        self._next_tid = 0
+
+    # -- thread clock management ----------------------------------------
+
+    def _tid(self) -> int:
+        """Unique id of the calling thread for this sanitizer's lifetime.
+
+        ``threading.get_ident()`` is unusable here: the OS reuses idents
+        of joined threads, which would make a fresh thread silently
+        inherit a dead thread's clock (missing every race against it).
+        Thread-local storage dies with its thread, so each thread gets a
+        fresh counter value exactly once.
+        """
+        tid = getattr(self._tls, "tid", None)
+        if tid is None:
+            with self._mu:
+                tid = self._next_tid
+                self._next_tid += 1
+            self._tls.tid = tid
+        return tid
+
+    def _clock_locked(self, tid: int) -> VectorClock:
+        clock = self._thread_clocks.get(tid)
+        if clock is None:
+            # New thread: everything the session had done at start()
+            # happens-before its first event.
+            clock = self._genesis.copy()
+            clock.increment(tid)
+            self._thread_clocks[tid] = clock
+        return clock
+
+    def start(self) -> None:
+        """Mark the end of single-threaded setup.
+
+        Everything the calling thread has done so far happens-before any
+        thread registered afterwards, so initialization writes are not
+        misreported as races.
+        """
+        tid = self._tid()
+        with self._mu:
+            clock = self._clock_locked(tid)
+            self._genesis = clock.copy()
+
+    def join_all(self) -> None:
+        """Join every known thread's clock into the calling thread.
+
+        Call after the worker pool has been joined (e.g. the executor
+        context exited): post-parallel assertions then read instrumented
+        fields without spurious reports.
+        """
+        tid = self._tid()
+        with self._mu:
+            clock = self._clock_locked(tid)
+            for other in self._thread_clocks.values():
+                clock.join(other)
+
+    # -- lock events -----------------------------------------------------
+
+    def on_acquire(self, lock_id: int) -> None:
+        tid = self._tid()
+        with self._mu:
+            depth = self._lock_depths.get((lock_id, tid), 0)
+            self._lock_depths[(lock_id, tid)] = depth + 1
+            if depth == 0:
+                lock_clock = self._lock_clocks.get(lock_id)
+                if lock_clock is not None:
+                    self._clock_locked(tid).join(lock_clock)
+
+    def on_release(self, lock_id: int) -> None:
+        tid = self._tid()
+        with self._mu:
+            depth = self._lock_depths.get((lock_id, tid), 0)
+            if depth > 1:
+                # Reentrant inner release: the critical section continues,
+                # publish only at the outermost release.
+                self._lock_depths[(lock_id, tid)] = depth - 1
+                return
+            self._lock_depths.pop((lock_id, tid), None)
+            clock = self._clock_locked(tid)
+            self._lock_clocks[lock_id] = clock.copy()
+            clock.increment(tid)
+
+    # -- variable accesses ----------------------------------------------
+
+    def _report_locked(
+        self, var: Hashable, kind: str, first: int, second: int
+    ) -> None:
+        key = (str(var), kind, first, second)
+        if key in self._race_keys:
+            return  # one report per (var, kind, thread pair)
+        self._race_keys.add(key)
+        self.races.append(
+            RaceReport(
+                var=str(var), kind=kind,
+                first_thread=first, second_thread=second,
+            )
+        )
+
+    def on_read(self, var: Hashable) -> None:
+        tid = self._tid()
+        with self._mu:
+            clock = self._clock_locked(tid)
+            state = self._vars.setdefault(var, _VarState())
+            if state.last_write is not None:
+                wtid, wclock = state.last_write
+                if wtid != tid and not wclock.happens_before(clock):
+                    self._report_locked(var, "write-read", wtid, tid)
+            state.reads[tid] = clock.copy()
+
+    def on_write(self, var: Hashable) -> None:
+        tid = self._tid()
+        with self._mu:
+            clock = self._clock_locked(tid)
+            state = self._vars.setdefault(var, _VarState())
+            if state.last_write is not None:
+                wtid, wclock = state.last_write
+                if wtid != tid and not wclock.happens_before(clock):
+                    self._report_locked(var, "write-write", wtid, tid)
+            for rtid, rclock in state.reads.items():
+                if rtid != tid and not rclock.happens_before(clock):
+                    self._report_locked(var, "read-write", rtid, tid)
+            state.last_write = (tid, clock.copy())
+            state.reads = {}
+
+    def describe(self) -> str:
+        if not self.races:
+            return "sanitizer: no races detected"
+        lines = [f"sanitizer: {len(self.races)} race(s) detected"]
+        lines.extend(f"  {r}" for r in self.races)
+        return "\n".join(lines)
+
+
+class SanitizedLock:
+    """Lock proxy that reports acquire/release to a :class:`RaceSanitizer`.
+
+    Wraps ``threading.Lock`` and ``threading.RLock`` alike (reentrancy is
+    tracked by the sanitizer, which publishes only at the outermost
+    release).
+    """
+
+    def __init__(self, inner, sanitizer: RaceSanitizer, name: str = "lock"):
+        self._inner = inner
+        self._san = sanitizer
+        self._name = name
+
+    def acquire(self, *args, **kwargs) -> bool:
+        got = self._inner.acquire(*args, **kwargs)
+        if got:
+            self._san.on_acquire(id(self))
+        return got
+
+    def release(self) -> None:
+        self._san.on_release(id(self))
+        self._inner.release()
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:
+        return f"SanitizedLock({self._name})"
+
+
+_CLASS_CACHE: Dict[Tuple[type, frozenset, frozenset, int], type] = {}
+
+
+def _sanitized_class(
+    base: type,
+    fields: frozenset,
+    mutable_fields: frozenset,
+    san: RaceSanitizer,
+) -> type:
+    key = (base, fields, mutable_fields, id(san))
+    cached = _CLASS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    tracked = fields | mutable_fields
+
+    def __setattr__(self, name, value):
+        if name in tracked:
+            san.on_write((f"{base.__name__}#{id(self):x}", name))
+        base.__setattr__(self, name, value)
+
+    def __getattribute__(self, name):
+        if name in tracked:
+            var = (f"{base.__name__}#{id(self):x}", name)
+            # Handing out a reference to a mutable container counts as a
+            # write: the caller may mutate it in place, and attribute-level
+            # tracking cannot see deeper.
+            if name in mutable_fields:
+                san.on_write(var)
+            else:
+                san.on_read(var)
+        return base.__getattribute__(self, name)
+
+    cls = type(
+        f"Sanitized{base.__name__}",
+        (base,),
+        {"__setattr__": __setattr__, "__getattribute__": __getattribute__},
+    )
+    _CLASS_CACHE[key] = cls
+    return cls
+
+
+def instrument(
+    obj,
+    fields: Sequence[str],
+    mutable_fields: Sequence[str] = (),
+    lock_attrs: Sequence[str] = ("_lock",),
+    sanitizer: Optional[RaceSanitizer] = None,
+) -> RaceSanitizer:
+    """Attach race tracking to ``obj`` in place.
+
+    Args:
+        obj: instance to watch (its class is swapped for a generated
+            subclass; ``isinstance`` checks keep working).
+        fields: attribute names whose reads and writes are tracked.
+        mutable_fields: attributes holding containers mutated in place;
+            every access (even a read) is treated as a write, since the
+            reference may be used to mutate.
+        lock_attrs: lock-valued attributes to wrap in
+            :class:`SanitizedLock` (missing names are ignored).
+        sanitizer: shared :class:`RaceSanitizer`; a fresh one by default.
+
+    Returns:
+        the sanitizer (for ``start()`` / ``join_all()`` / ``races``).
+    """
+    san = sanitizer if sanitizer is not None else RaceSanitizer()
+    for attr in lock_attrs:
+        inner = getattr(obj, attr, None)
+        if inner is not None and not isinstance(inner, SanitizedLock):
+            object.__setattr__(
+                obj, attr,
+                SanitizedLock(inner, san, f"{type(obj).__name__}.{attr}"),
+            )
+    cls = _sanitized_class(
+        type(obj), frozenset(fields), frozenset(mutable_fields), san
+    )
+    object.__setattr__(obj, "__class__", cls)
+    return san

@@ -18,12 +18,22 @@ treat a bare suppression with no reason as a smell.
 from __future__ import annotations
 
 import re
-from typing import Dict, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
-_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_*,]+)")
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_*,]+)(.*)")
 
 #: Sentinel rule name matching every rule.
 ALL = "all"
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed suppression comment (for validation and tooling)."""
+
+    line: int
+    rules: Tuple[str, ...]  # normalized rule IDs (ALL for the wildcard)
+    reason: str  # free text after the rule list ("" when missing)
 
 
 class SuppressionIndex:
@@ -31,6 +41,7 @@ class SuppressionIndex:
 
     def __init__(self, lines: Sequence[str]):
         self._by_line: Dict[int, Set[str]] = {}
+        self.directives: List[Directive] = []
         for lineno, text in enumerate(lines, start=1):
             match = _DIRECTIVE.search(text)
             if not match:
@@ -41,6 +52,13 @@ class SuppressionIndex:
                 if token.strip()
             }
             rules = {ALL if r in ("ALL", "*") else r for r in rules}
+            self.directives.append(
+                Directive(
+                    line=lineno,
+                    rules=tuple(sorted(rules)),
+                    reason=match.group(2).strip(),
+                )
+            )
             self._add(lineno, rules)
             if text.lstrip().startswith("#"):
                 # Standalone comment: also covers the next non-comment line,

@@ -182,6 +182,13 @@ class BatchedHConvEngine:
     ``hconv_fft`` / ``hconv_flash``: bit-identical results (exact engines)
     computed in vectorized passes over the whole batch.
 
+    Thread-safety contract (checked by ``repro lint --concurrency`` and
+    the runtime stress tests): the engine object is confined to the
+    submitting thread -- ``last_stats`` and the per-run ``RuntimeStats``
+    are only ever written between ``fan_out`` calls, and worker jobs
+    close over locals.  The only state shared *with* workers is
+    ``plan_cache``, which synchronizes internally.
+
     Args:
         mode: ``"ntt"`` (exact), ``"fft"`` (float64 folded FFT) or
             ``"flash"`` (approximate fixed-point weight transforms).

@@ -170,38 +170,48 @@ class PlanCache:
         return False
 
     # -- inspection ------------------------------------------------------
+    # All snapshots take the lock: ``stats()`` reads several counters that
+    # must come from one consistent state, and even single-field reads
+    # interleave with ``put``'s pop/reinsert windows.  ``_lock`` is an
+    # RLock, so nesting (``stats`` -> ``hit_rate``) is fine.
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def cached_bytes(self) -> int:
         """Bytes held by cached values (per the size estimator)."""
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """Snapshot of counters for reports and benchmarks."""
-        return {
-            "entries": len(self._entries),
-            "cached_bytes": self._bytes,
-            "capacity_bytes": self.capacity_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "corruptions": self.corruptions,
-            "hit_rate": self.hit_rate,
-        }
+        """Consistent snapshot of counters for reports and benchmarks."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "cached_bytes": self._bytes,
+                "capacity_bytes": self.capacity_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "corruptions": self.corruptions,
+                "hit_rate": self.hit_rate,
+            }
 
     def keys(self):
-        return list(self._entries.keys())
+        with self._lock:
+            return list(self._entries.keys())
 
     # Dict-style access, so a PlanCache is a drop-in for the plain dict
     # caches it replaced (misses raise KeyError instead of counting).
@@ -317,10 +327,11 @@ class PlanCache:
             if self.capacity_bytes is not None
             else "unbounded"
         )
-        return (
-            f"PlanCache(entries={len(self._entries)}, "
-            f"bytes={self._bytes}, capacity={cap}, policy={self.on_full})"
-        )
+        with self._lock:
+            return (
+                f"PlanCache(entries={len(self._entries)}, "
+                f"bytes={self._bytes}, capacity={cap}, policy={self.on_full})"
+            )
 
 
 def approx_config_key(config) -> tuple:

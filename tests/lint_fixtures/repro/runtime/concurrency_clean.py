@@ -1,0 +1,24 @@
+"""Fixture: disciplined class plus audited suppressions -- no findings."""
+
+import threading
+
+
+class Disciplined:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.hits = 0
+        self._entries = {}
+
+    def record(self, key, value):
+        with self._lock:
+            self.hits += 1
+            self._entries[key] = value
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._entries)
+
+    def reset_unsynchronized(self):
+        # repro-lint: disable=RACE001  only called from tests before any
+        # worker starts; publication is ordered by executor submit.
+        self.hits = 0

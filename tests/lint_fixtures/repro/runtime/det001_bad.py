@@ -1,0 +1,21 @@
+"""Fixture: DET001 -- nondeterminism feeding the parallel runtime."""
+
+import random
+import time
+
+from repro.runtime.parallel import fan_out
+
+
+def schedule(batches):
+    # BAD: set iteration order is arbitrary, so the job list (and with it
+    # the fan_out result order) varies run to run.
+    jobs = [(idx, b) for idx, b in enumerate({id(b) for b in batches})]
+
+    def job(pair):
+        # BAD: wall-clock reads inside a deterministic kernel.
+        started = time.monotonic()
+        # BAD: unseeded randomness inside a deterministic kernel.
+        jitter = random.random()
+        return pair[0], started, jitter
+
+    return fan_out(jobs, job, max_workers=4)

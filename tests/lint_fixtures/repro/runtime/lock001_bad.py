@@ -1,0 +1,20 @@
+"""Fixture: LOCK001 -- one field guarded by two different locks."""
+
+import threading
+
+
+class SplitBrain:
+    def __init__(self):
+        self._read_lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self.entries = {}
+
+    def put(self, key, value):
+        with self._write_lock:
+            self.entries[key] = value
+
+    def clear(self):
+        # BAD: ``entries`` is mutated under ``_write_lock`` in ``put`` but
+        # under ``_read_lock`` here; no single lock serializes the sites.
+        with self._read_lock:
+            self.entries = {}

@@ -1,0 +1,18 @@
+"""Fixture: RACE001 -- guarded attribute written outside its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def bump(self, amount):
+        with self._lock:
+            self.total = self.total + amount
+
+    def reset(self):
+        # BAD: ``total`` is written under ``_lock`` in ``bump`` but this
+        # write takes no lock at all.
+        self.total = 0

@@ -1,0 +1,19 @@
+"""Fixture: RACE002 -- compound read-modify-write without the lock."""
+
+import threading
+
+
+class HitStats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.evictions = 0
+
+    def record_eviction(self):
+        with self._lock:
+            self.evictions = self.evictions + 1
+
+    def record_hit(self):
+        # BAD: lost-update window -- the read and the write of ``hits``
+        # are not atomic, and the class clearly has a lock discipline.
+        self.hits += 1

@@ -27,7 +27,10 @@ def fixture(*parts) -> str:
 class TestRuleRegistry:
     def test_all_rules_registered(self):
         ids = sorted(rule.rule_id for rule in all_rules())
-        assert ids == ["DTYPE001", "HYG001", "HYG002", "MOD001", "MOD002"]
+        assert ids == [
+            "DET001", "DTYPE001", "HYG001", "HYG002", "LOCK001",
+            "MOD001", "MOD002", "RACE001", "RACE002",
+        ]
 
     def test_get_rule_unknown(self):
         with pytest.raises(KeyError):
@@ -62,7 +65,9 @@ class TestEachRuleFiresExactlyOnce:
     def test_fixture_directory_fails_overall(self):
         result = lint_paths([FIXTURES])
         assert not result.ok
-        assert len(result.findings) == 5
+        # 5 original single-rule fixtures + 6 concurrency findings
+        # (RACE001, RACE002, LOCK001 and three DET001 sites).
+        assert len(result.findings) == 11
 
 
 class TestScoping:
@@ -100,19 +105,65 @@ class TestSuppression:
         assert result.suppressed_count == 2
 
     def test_same_line_suppression(self):
-        src = "def f(a, b, q):\n    return (a * b) % q  # repro-lint: disable=MOD001\n"
+        src = (
+            "def f(a, b, q):\n"
+            "    return (a * b) % q  "
+            "# repro-lint: disable=MOD001  exact scalar ints\n"
+        )
         result = lint_source(src, module="repro.ntt.x")
         assert result.findings == [] and result.suppressed_count == 1
 
     def test_wrong_rule_does_not_suppress(self):
-        src = "def f(a, b, q):\n    return (a * b) % q  # repro-lint: disable=MOD002\n"
+        src = (
+            "def f(a, b, q):\n"
+            "    return (a * b) % q  "
+            "# repro-lint: disable=MOD002  wrong rule on purpose\n"
+        )
         result = lint_source(src, module="repro.ntt.x")
         assert [f.rule_id for f in result.findings] == ["MOD001"]
 
     def test_disable_all(self):
-        src = "def f(a, b, q):\n    return (a * b) % q  # repro-lint: disable=all\n"
+        src = (
+            "def f(a, b, q):\n"
+            "    return (a * b) % q  "
+            "# repro-lint: disable=all  test-only helper\n"
+        )
         result = lint_source(src, module="repro.ntt.x")
         assert result.findings == [] and result.suppressed_count == 1
+
+    def test_unknown_rule_in_directive_flagged(self):
+        src = (
+            "def f(a, b, q):\n"
+            "    return (a * b) % q  "
+            "# repro-lint: disable=MOD01  typo'd rule id\n"
+        )
+        result = lint_source(src, module="repro.ntt.x")
+        ids = sorted(f.rule_id for f in result.findings)
+        # The typo suppresses nothing, so MOD001 still fires too.
+        assert ids == ["MOD001", "SUP001"]
+
+    def test_missing_justification_flagged(self):
+        src = (
+            "def f(a, b, q):\n"
+            "    return (a * b) % q  # repro-lint: disable=MOD001\n"
+        )
+        result = lint_source(src, module="repro.ntt.x")
+        assert [f.rule_id for f in result.findings] == ["SUP002"]
+        assert result.suppressed_count == 1  # MOD001 is still suppressed
+
+    def test_sup_findings_are_suppressible(self):
+        src = (
+            "def f(a, b, q):\n"
+            "    # repro-lint: disable=SUP002  migration shim, see #42\n"
+            "    return (a * b) % q  # repro-lint: disable=MOD001\n"
+        )
+        result = lint_source(src, module="repro.ntt.x")
+        assert result.findings == []
+
+    def test_sup_validation_runs_even_with_rule_selection(self):
+        src = "x = 1  # repro-lint: disable=NOPE999  bogus\n"
+        result = lint_source(src, module="repro.ntt.x", rules=[])
+        assert [f.rule_id for f in result.findings] == ["SUP001"]
 
     def test_multiline_comment_justification(self):
         src = (
@@ -131,9 +182,9 @@ class TestReporters:
         payload = json.loads(render_json(result))
         assert payload["version"] == 1
         assert payload["files_checked"] == result.files_checked
-        assert payload["counts"]["errors"] == 3
-        assert payload["counts"]["warnings"] == 2
-        assert payload["counts"]["suppressed"] == 2
+        assert payload["counts"]["errors"] == 6
+        assert payload["counts"]["warnings"] == 5
+        assert payload["counts"]["suppressed"] == 3
         assert payload["parse_errors"] == []
         for finding in payload["findings"]:
             assert set(finding) == {
@@ -175,11 +226,12 @@ class TestCli:
         code = main(["lint", FIXTURES, "--format", "json", "--no-bitwidth"])
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["counts"]["errors"] == 3
+        assert payload["counts"]["errors"] == 6
 
     def test_lint_cli_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("MOD001", "MOD002", "DTYPE001", "HYG001", "HYG002",
-                        "BW001"):
+                        "BW001", "RACE001", "RACE002", "LOCK001", "DET001",
+                        "SUP001", "SUP002"):
             assert rule_id in out

@@ -1,0 +1,257 @@
+"""Tests for the dynamic race sanitizer (vector clocks, locks, instrument)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint import RaceSanitizer, SanitizedLock, VectorClock, instrument
+from repro.runtime import PlanCache
+
+clock_dicts = st.dictionaries(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=20),
+    max_size=5,
+)
+
+
+class TestVectorClock:
+    def test_empty_clock_happens_before_everything(self):
+        assert VectorClock().happens_before(VectorClock({1: 3}))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(VectorClock())
+
+    @given(clock_dicts)
+    def test_reflexive(self, c):
+        v = VectorClock(c)
+        assert v.happens_before(v)
+
+    @given(clock_dicts, st.integers(min_value=1, max_value=5))
+    def test_increment_strictly_after(self, c, tid):
+        v = VectorClock(c)
+        w = v.copy()
+        w.increment(tid)
+        assert v.happens_before(w)
+        assert not w.happens_before(v)
+
+    @given(clock_dicts, clock_dicts)
+    def test_join_is_least_upper_bound(self, a, b):
+        va, vb = VectorClock(a), VectorClock(b)
+        j = va.copy()
+        j.join(vb)
+        assert va.happens_before(j) and vb.happens_before(j)
+        # Least: j is exactly the componentwise max, no slack.
+        for tid in set(a) | set(b):
+            assert j.get(tid) == max(va.get(tid), vb.get(tid))
+
+    @given(clock_dicts, clock_dicts, clock_dicts)
+    def test_transitive(self, a, b, c):
+        va, vb, vc = VectorClock(a), VectorClock(b), VectorClock(c)
+        if va.happens_before(vb) and vb.happens_before(vc):
+            assert va.happens_before(vc)
+
+    @given(clock_dicts, clock_dicts)
+    def test_antisymmetric(self, a, b):
+        va, vb = VectorClock(a), VectorClock(b)
+        if va.happens_before(vb) and vb.happens_before(va):
+            assert va == vb
+
+    @given(clock_dicts, clock_dicts)
+    def test_join_commutes(self, a, b):
+        ab = VectorClock(a)
+        ab.join(VectorClock(b))
+        ba = VectorClock(b)
+        ba.join(VectorClock(a))
+        assert ab == ba
+
+
+def run_threads(*targets):
+    threads = [threading.Thread(target=t) for t in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestHappensBefore:
+    def test_unordered_cross_thread_writes_race(self):
+        """Sequential wall-clock order is NOT happens-before: two writes
+        with no synchronization race even when they never overlap."""
+        san = RaceSanitizer()
+        san.start()
+        run_threads(lambda: san.on_write("x"))
+        run_threads(lambda: san.on_write("x"))
+        assert any(r.kind == "write-write" for r in san.races)
+
+    def test_lock_creates_order(self):
+        san = RaceSanitizer()
+        lock = SanitizedLock(threading.Lock(), san)
+        san.start()
+
+        def writer():
+            with lock:
+                san.on_write("x")
+
+        t1 = threading.Thread(target=writer)
+        t1.start()
+        t1.join()
+        t2 = threading.Thread(target=writer)
+        t2.start()
+        t2.join()
+        assert san.races == []
+
+    def test_write_read_race_detected(self):
+        san = RaceSanitizer()
+        san.start()
+        run_threads(lambda: san.on_write("x"))
+        run_threads(lambda: san.on_read("x"))
+        assert any(r.kind == "write-read" for r in san.races)
+
+    def test_setup_writes_ordered_by_start(self):
+        san = RaceSanitizer()
+        san.on_write("x")  # single-threaded setup
+        san.start()
+        run_threads(lambda: san.on_read("x"))
+        assert san.races == []
+
+    def test_join_all_orders_assertions(self):
+        san = RaceSanitizer()
+        san.start()
+        run_threads(lambda: san.on_write("x"))
+        san.join_all()
+        san.on_read("x")
+        assert san.races == []
+
+    def test_rlock_reentrancy_publishes_once(self):
+        san = RaceSanitizer()
+        lock = SanitizedLock(threading.RLock(), san)
+        san.start()
+
+        def writer():
+            with lock:
+                with lock:  # nested acquire of the same RLock
+                    san.on_write("x")
+
+        for _ in range(2):
+            t = threading.Thread(target=writer)
+            t.start()
+            t.join()
+        assert san.races == []
+
+    def test_reports_deduplicated(self):
+        san = RaceSanitizer()
+        san.start()
+
+        def hammer():
+            for _ in range(50):
+                san.on_write("x")
+
+        run_threads(hammer, hammer)
+        keys = [(r.var, r.kind, r.first_thread, r.second_thread)
+                for r in san.races]
+        assert len(keys) == len(set(keys))
+
+
+class PlantedCounter:
+    """Test double with one guarded and one unguarded increment path."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump_unsafe(self):
+        self.value += 1  # repro-lint: disable=RACE002  the planted race
+
+    def bump_safe(self):
+        with self._lock:
+            self.value += 1
+
+
+class TestInstrument:
+    def test_detects_planted_race(self):
+        counter = PlantedCounter()
+        san = instrument(counter, fields=("value",))
+        san.start()
+        run_threads(
+            *[counter.bump_unsafe for _ in range(4)]
+        )
+        san.join_all()
+        assert san.races != []
+        assert any(r.kind in ("write-write", "read-write")
+                   for r in san.races)
+        assert "value" in san.describe()
+
+    def test_guarded_counter_is_clean(self):
+        counter = PlantedCounter()
+        san = instrument(counter, fields=("value",))
+        san.start()
+        run_threads(*[counter.bump_safe for _ in range(4)])
+        san.join_all()
+        assert counter.value == 4
+        assert san.races == [], san.describe()
+
+    def test_isinstance_survives_instrumentation(self):
+        counter = PlantedCounter()
+        instrument(counter, fields=("value",))
+        assert isinstance(counter, PlantedCounter)
+
+    def test_missing_lock_attr_ignored(self):
+        counter = PlantedCounter()
+        san = instrument(
+            counter, fields=("value",), lock_attrs=("_lock", "_nope")
+        )
+        assert isinstance(counter._lock, SanitizedLock)
+        assert san is not None
+
+
+class TestPlanCacheUnderSanitizer:
+    """The real PlanCache passes a multi-worker stress race-free."""
+
+    def stress(self, workers: int, ops: int = 60) -> RaceSanitizer:
+        cache = PlanCache(capacity_bytes=1 << 16, check_integrity=False)
+        san = instrument(
+            cache,
+            fields=("hits", "misses", "evictions", "corruptions", "_bytes"),
+            mutable_fields=("_entries",),
+        )
+        san.start()
+
+        def worker(seed: int):
+            for i in range(ops):
+                key = ("plan", (seed + i) % 7)
+                cache.get_or_build(key, lambda: bytes(64))
+                cache.get(key)
+                len(cache)
+                key in cache
+                cache.stats()
+                if i % 13 == 0:
+                    cache.clear()
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for f in [pool.submit(worker, s) for s in range(workers)]:
+                f.result()
+        san.join_all()
+        assert cache.stats()["hits"] >= 0
+        return san
+
+    def test_two_workers_race_free(self):
+        san = self.stress(workers=2)
+        assert san.races == [], san.describe()
+
+    @pytest.mark.slow
+    def test_eight_workers_race_free(self):
+        san = self.stress(workers=8, ops=120)
+        assert san.races == [], san.describe()
+
+    def test_unguarded_cache_access_would_race(self):
+        """Negative control: bypassing the lock is caught immediately."""
+        cache = PlanCache()
+        san = instrument(cache, fields=("hits",))
+        san.start()
+        run_threads(lambda: setattr(cache, "hits", 1))
+        run_threads(lambda: setattr(cache, "hits", 2))
+        assert any(r.kind == "write-write" for r in san.races)

@@ -132,3 +132,34 @@ class TestBackendConcurrency:
                     for a, b in zip(out.residues, expect.residues):
                         assert np.array_equal(a, b)
         assert cache.hits > 0
+
+    @pytest.mark.slow
+    def test_shared_plan_cache_race_free_under_sanitizer(
+        self, basis, workload
+    ):
+        """The dynamic race sanitizer observes the same stress and finds
+        no happens-before violation on the cache's shared state."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.lint import instrument
+        from repro.runtime import PlanCache
+
+        polys, weights = workload
+        cache = PlanCache(capacity_bytes=8 << 20)
+        san = instrument(
+            cache,
+            fields=("hits", "misses", "evictions", "corruptions", "_bytes"),
+            mutable_fields=("_entries",),
+        )
+        backend = BatchedNttBackend(plan_cache=cache, max_workers=2)
+        san.start()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [
+                pool.submit(backend.multiply_many, polys, weights)
+                for _ in range(8)
+            ]
+            for future in futures:
+                future.result()
+        san.join_all()
+        assert cache.hits > 0
+        assert san.races == [], san.describe()
