@@ -57,6 +57,89 @@ def test_fig7_sparsity_report(benchmark, layer_stats):
     assert np.median(sparsities) > 0.99
 
 
+def test_fig7_realized_mults_match_model(benchmark):
+    """Executed batched sparse plans vs the analytical opcount model.
+
+    For representative ResNet-50 layers, run real encoded weight
+    polynomials through :class:`SparseWeightPipeline` (the batched
+    runtime's weight path) and report the plans' realized multiplication
+    counts next to :func:`repro.sparse.opcount.sparse_fft_mults`.  The two
+    countings must agree within 2% of the dense count -- a divergence
+    means the compiled dataflow and the paper's cost model have drifted,
+    and this test fails loudly naming the layer.
+    """
+    from repro.fftcore.fixed_point import ApproxFftConfig
+    from repro.sparse import SparseWeightPipeline
+    from repro.sparse.opcount import sparse_fft_mults
+    from repro.sparse.sparse_fxp import SparseApproxNegacyclic
+
+    n = 4096
+    cfg = ApproxFftConfig(
+        n=n // 2, stage_widths=27, twiddle_k=5, twiddle_max_shift=16
+    )
+    rng = np.random.default_rng(1)
+    layers = resnet50_conv_layers()
+    rows = []
+    pipe = stack = None
+    for layer in (layers[2], layers[5], layers[20], layers[40]):
+        phase = stride1_phase(layer.shape)
+        if phase.padded_height * phase.padded_width > n:
+            from repro.hw import spatial_tiles
+
+            phase, _ = spatial_tiles(phase, n)
+        small = phase.__class__(
+            in_channels=phase.in_channels,
+            height=phase.height,
+            width=phase.width,
+            out_channels=2,
+            kernel_h=phase.kernel_h,
+            kernel_w=phase.kernel_w,
+        )
+        enc = Conv2dEncoder(small, n)
+        w = rng.integers(
+            -8, 8,
+            size=(2, small.in_channels, small.kernel_h, small.kernel_w),
+        )
+        polys = enc.encode_weights(w)
+        pattern = enc.weight_valid_indices(0)
+        pipe = SparseWeightPipeline(n, cfg, pattern)
+        stack = np.stack([polys[(0, m)] for m in range(2)])
+        spec = pipe.weight_forward_batch(stack)
+        assert spec.values.shape == (2, n // 2)
+        realized = pipe.mults
+        dense = pipe.dense_mults
+        model = sparse_fft_mults(tuple(int(v) for v in pipe.pattern), n // 2)
+        gap = abs(realized - model) / dense
+        rows.append(
+            [
+                layer.index, layer.name, realized, model, dense,
+                f"{1 - realized / dense:.3f}", f"{gap:.5f}",
+            ]
+        )
+        assert gap <= 0.02, (
+            f"layer {layer.name}: realized mult count {realized} diverges "
+            f"from the opcount model {model} by {gap:.2%} of the dense "
+            f"count {dense} (limit 2%)"
+        )
+    # The realized count is what the per-call oracle charges, too.
+    oracle = SparseApproxNegacyclic(
+        n, cfg, valid_pattern=enc.weight_valid_indices(0)
+    )
+    oracle.weight_forward(stack[0])
+    assert oracle.last_mults == pipe.mults
+    benchmark.pedantic(
+        lambda: pipe.weight_forward_batch(stack), rounds=1, iterations=1
+    )
+    print()
+    print("=== Figure 7: realized sparse-plan mults vs opcount model ===")
+    print(
+        format_table(
+            ["#", "layer", "realized", "model", "dense", "reduction", "gap"],
+            rows,
+        )
+    )
+
+
 def test_fig7_structure_k_contiguous_per_row(benchmark):
     """The Section IV-B structure: k contiguous valid slots per row stride."""
     layer = resnet50_conv_layers()[5]  # a 3x3 conv

@@ -9,6 +9,7 @@ Usage::
     python -m repro profile               # Figure 1
     python -m repro demo                  # one private convolution
     python -m repro bench-runtime         # batched HConv runtime benchmark
+    python -m repro bench-check --baseline b.json --current c.json
     python -m repro lint src/repro        # domain-aware static analysis
     python -m repro chaos --seed 0        # randomized fault campaign
 """
@@ -224,7 +225,7 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from repro.core.hconv import hconv_flash, hconv_ntt
+    from repro.core.hconv import hconv_flash, hconv_ntt, hconv_sparse
     from repro.encoding import ConvShape
     from repro.fftcore.fixed_point import ApproxFftConfig
     from repro.runtime import BatchedHConvEngine
@@ -249,7 +250,12 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
         f"{args.out_channels} ch, {args.kernel}x{args.kernel} kernel, "
         f"n={args.n}, batch={args.batch}, workers={args.workers or 1}"
     )
-    modes = ["ntt", "flash"] if args.mode == "both" else [args.mode]
+    if args.mode == "both":
+        modes = ["ntt", "flash"]
+    elif args.mode == "all":
+        modes = ["ntt", "flash", "sparse"]
+    else:
+        modes = [args.mode]
     trajectory = {
         "params": {
             "mode": args.mode,
@@ -267,7 +273,7 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
     for mode in modes:
         engine = BatchedHConvEngine(
             mode=mode,
-            weight_config=cfg if mode == "flash" else None,
+            weight_config=cfg if mode in ("flash", "sparse") else None,
             max_workers=args.workers,
         )
         engine.conv2d_batch(xs[:1], w, shape, args.n)  # warm the plan cache
@@ -275,9 +281,12 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
         batched = engine.conv2d_batch(xs, w, shape, args.n)
         batched_s = time.perf_counter() - t0
 
-        per_call = hconv_ntt if mode == "ntt" else (
-            lambda x, w_, s_, n_: hconv_flash(x, w_, s_, n_, cfg)
-        )
+        if mode == "ntt":
+            per_call = hconv_ntt
+        elif mode == "sparse":
+            per_call = lambda x, w_, s_, n_: hconv_sparse(x, w_, s_, n_, cfg)
+        else:
+            per_call = lambda x, w_, s_, n_: hconv_flash(x, w_, s_, n_, cfg)
         t0 = time.perf_counter()
         serial = np.stack(
             [per_call(x, w, shape, args.n) for x in xs]
@@ -297,15 +306,24 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
             f"batched {batched_s * 1e3:9.2f} ms   "
             f"speedup {serial_s / batched_s:.2f}x   [{match}]"
         )
+        stats = engine.last_stats
         trajectory["modes"][mode] = {
             "serial_ms": serial_s * 1e3,
             "batched_ms": batched_s * 1e3,
             "speedup": serial_s / batched_s,
             "bit_identical": identical,
-            "stage_seconds": dict(engine.last_stats.stage_seconds),
-            "worker_faults": engine.last_stats.worker_faults,
-            "products": engine.last_stats.products,
+            "stage_seconds": dict(stats.stage_seconds),
+            "worker_faults": stats.worker_faults,
+            "products": stats.products,
             "cache": engine.plan_cache.stats(),
+            "weight_mults": {
+                "transforms": stats.weight_transforms,
+                "realized": stats.weight_mults_realized,
+                "dense": stats.weight_mults_dense,
+                "model": stats.weight_mults_model,
+                "realized_reduction": stats.realized_mult_reduction,
+                "model_reduction": stats.model_mult_reduction,
+            },
         }
     if args.json:
         import json
@@ -314,6 +332,96 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
             json.dump(trajectory, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    """Compare a ``bench-runtime --json`` trajectory against a baseline.
+
+    Deterministic metrics (bit-identity, product counts, weight-transform
+    mult counts) must match exactly; the realized mult reduction must stay
+    within ``--mult-tolerance`` of the analytical opcount model; timings
+    gate only through ``--speed-tolerance`` (generous by default -- CI
+    machines vary, silent 10x regressions do not).
+    """
+    import json
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(args.current, "r", encoding="utf-8") as handle:
+            current = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"bench-check: {exc}", file=sys.stderr)
+        return 2
+
+    if baseline.get("params") != current.get("params"):
+        print("bench-check: params mismatch between baseline and current:",
+              file=sys.stderr)
+        print(f"  baseline: {baseline.get('params')}", file=sys.stderr)
+        print(f"  current:  {current.get('params')}", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    def check(mode: str, label: str, ok: bool, detail: str) -> None:
+        status = "ok  " if ok else "FAIL"
+        print(f"  [{status}] {mode}/{label}: {detail}")
+        if not ok:
+            failures.append(f"{mode}/{label}: {detail}")
+
+    for mode, base in sorted(baseline.get("modes", {}).items()):
+        cur = current.get("modes", {}).get(mode)
+        print(f"mode={mode}")
+        if cur is None:
+            check(mode, "present", False, "missing from current run")
+            continue
+        check(
+            mode, "bit_identical", bool(cur.get("bit_identical")),
+            f"batched vs per-call: {cur.get('bit_identical')}",
+        )
+        check(
+            mode, "products", cur.get("products") == base.get("products"),
+            f"{cur.get('products')} (baseline {base.get('products')})",
+        )
+        check(
+            mode, "worker_faults", cur.get("worker_faults", 0) == 0,
+            f"{cur.get('worker_faults', 0)} recovered faults",
+        )
+        base_wm = base.get("weight_mults", {})
+        cur_wm = cur.get("weight_mults", {})
+        for field in ("transforms", "realized", "dense", "model"):
+            check(
+                mode, f"weight_mults.{field}",
+                cur_wm.get(field) == base_wm.get(field),
+                f"{cur_wm.get(field)} (baseline {base_wm.get(field)})",
+            )
+        if cur_wm.get("dense"):
+            gap = abs(
+                cur_wm.get("realized_reduction", 0.0)
+                - cur_wm.get("model_reduction", 0.0)
+            )
+            check(
+                mode, "realized_vs_model",
+                gap <= args.mult_tolerance,
+                f"reduction gap {gap:.4f} "
+                f"(tolerance {args.mult_tolerance})",
+            )
+        floor = base.get("speedup", 0.0) * (1.0 - args.speed_tolerance)
+        check(
+            mode, "speedup",
+            cur.get("speedup", 0.0) >= floor,
+            f"{cur.get('speedup', 0.0):.2f}x "
+            f"(floor {floor:.2f}x = baseline "
+            f"{base.get('speedup', 0.0):.2f}x - {args.speed_tolerance:.0%})",
+        )
+
+    if failures:
+        print(f"\nbench-check: {len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench-check: all metrics within thresholds")
     return 0
 
 
@@ -473,7 +581,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-runtime",
         help="batched HConv runtime benchmark (stage timings, cache stats)",
     )
-    p.add_argument("--mode", choices=["ntt", "flash", "both"], default="both")
+    p.add_argument(
+        "--mode",
+        choices=["ntt", "flash", "sparse", "both", "all"],
+        default="both",
+        help="'both' = ntt+flash, 'all' = ntt+flash+sparse",
+    )
     p.add_argument("--batch", type=int, default=16)
     p.add_argument("--n", type=int, default=1024)
     p.add_argument("--channels", type=int, default=8)
@@ -485,6 +598,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", default="", metavar="PATH",
                    help="also write the benchmark trajectory as JSON")
+
+    p = sub.add_parser(
+        "bench-check",
+        help="gate a bench-runtime --json trajectory against a baseline",
+    )
+    p.add_argument(
+        "--baseline", required=True, metavar="PATH",
+        help="committed baseline trajectory (bench-runtime --json output)",
+    )
+    p.add_argument(
+        "--current", required=True, metavar="PATH",
+        help="freshly recorded trajectory to check",
+    )
+    p.add_argument(
+        "--mult-tolerance", type=float, default=0.02,
+        help="max |realized - model| mult-reduction gap (default 0.02)",
+    )
+    p.add_argument(
+        "--speed-tolerance", type=float, default=0.6,
+        help="allowed relative speedup regression vs baseline "
+             "(default 0.6: generous, catches order-of-magnitude drops)",
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -547,6 +682,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "report": _cmd_report,
     "bench-runtime": _cmd_bench_runtime,
+    "bench-check": _cmd_bench_check,
     "chaos": _cmd_chaos,
     "lint": _cmd_lint,
 }

@@ -7,6 +7,7 @@ from repro.core.hconv import (
     hconv_fft,
     hconv_flash,
     hconv_ntt,
+    hconv_sparse,
     ntt_polymul_factory,
 )
 
@@ -18,5 +19,6 @@ __all__ = [
     "hconv_fft",
     "hconv_flash",
     "hconv_ntt",
+    "hconv_sparse",
     "ntt_polymul_factory",
 ]

@@ -87,6 +87,24 @@ class FlashConfig:
 
         return BatchedNttBackend(max_workers=max_workers)
 
+    def batched_sparse_backend(
+        self,
+        max_workers: Optional[int] = None,
+        pattern: Optional[List[int]] = None,
+    ):
+        """Approximate backend running compiled sparse weight plans.
+
+        Per-weight structural patterns are inferred from each weight's
+        support unless a fixed layer ``pattern`` is given.
+        """
+        from repro.runtime import SparseBatchedFftBackend
+
+        return SparseBatchedFftBackend(
+            weight_config=self.weight_fft_config(),
+            pattern=pattern,
+            max_workers=max_workers,
+        )
+
     def describe(self) -> str:
         widths = self.stage_widths or [self.data_width]
         return (

@@ -82,16 +82,17 @@ class Flash:
             self._session = make_session(self.config.params, rng)
         return self._session
 
-    def _batched_backend(self, exact: bool, max_workers: Optional[int]):
+    def _batched_backend(self, kind: str, max_workers: Optional[int]):
         """Batched backend instance, cached so plan/spectrum caches persist
         across layer calls (the whole point of the runtime's PlanCache)."""
-        key = ("exact" if exact else "flash", max_workers)
+        key = (kind, max_workers)
         if key not in self._batched_backends:
-            self._batched_backends[key] = (
-                self.config.batched_exact_backend(max_workers)
-                if exact
-                else self.config.batched_flash_backend(max_workers)
-            )
+            factory = {
+                "exact": self.config.batched_exact_backend,
+                "flash": self.config.batched_flash_backend,
+                "sparse": self.config.batched_sparse_backend,
+            }[kind]
+            self._batched_backends[key] = factory(max_workers)
         return self._batched_backends[key]
 
     def private_conv2d(
@@ -102,6 +103,7 @@ class Flash:
         rng: np.random.Generator,
         exact: bool = False,
         batch: bool = False,
+        sparse: bool = False,
         max_workers: Optional[int] = None,
         transport=None,
         guard=None,
@@ -121,6 +123,12 @@ class Flash:
                 (:mod:`repro.runtime`): plans and weight spectra are cached
                 across calls and all transform work runs in vectorized
                 batch passes.  Returns ``List[ProtocolResult]``.
+            sparse: run the weight transforms through compiled sparse
+                plans (:class:`repro.runtime.SparseBatchedFftBackend`) --
+                the paper's skipping/merging dataflow in the hot path.
+                Works with or without ``batch``; incompatible with
+                ``exact``.  Realized-vs-model mult reduction lands in the
+                result stats.
             max_workers: worker-pool width for the batched runtime
                 (``None`` keeps the deterministic serial fallback).
             transport: optional :class:`repro.faults.ResilientSession`
@@ -129,13 +137,20 @@ class Flash:
             guard: optional :class:`repro.faults.BudgetGuard` degrading
                 the approximate path when the noise budget runs out.
         """
-        if batch:
-            backend = self._batched_backend(exact, max_workers)
+        if sparse and exact:
+            raise ValueError("sparse=True is incompatible with exact=True")
+        if batch or sparse:
+            kind = "exact" if exact else ("sparse" if sparse else "flash")
+            backend = self._batched_backend(kind, max_workers)
             protocol = HybridConvProtocol(
                 self.config.params, shape, backend,
                 transport=transport, guard=guard,
             )
-            return protocol.run_batch(x, w, rng, session=self.session(rng))
+            if batch:
+                return protocol.run_batch(
+                    x, w, rng, session=self.session(rng)
+                )
+            return protocol.run(x, w, rng, session=self.session(rng))
         backend = (
             self.config.exact_backend() if exact else self.config.flash_backend()
         )

@@ -88,3 +88,38 @@ def hconv_flash(
         n,
         polymul=fft_polymul_factory(n, config),
     )
+
+
+def hconv_sparse(
+    x, w, shape: ConvShape, n: int, config: ApproxFftConfig
+) -> np.ndarray:
+    """Convolution via FLASH's *sparse* approximate weight transforms.
+
+    The per-call reference for the batched sparse runtime: each channel
+    tile's weight transform runs the skipping/merging dataflow
+    (:class:`repro.sparse.sparse_fxp.SparseApproxNegacyclic`) configured
+    with the tile's structural zero pattern from the encoder.  The sparse
+    conformance tier holds ``BatchedHConvEngine(mode="sparse")``
+    bit-identical to this function.
+    """
+    from repro.sparse.sparse_fxp import SparseApproxNegacyclic
+
+    pipes = {}
+
+    def tiled_polymul(encoder, tile, a_poly, w_poly):
+        key = (id(encoder), tile)
+        if key not in pipes:
+            pipes[key] = SparseApproxNegacyclic(
+                n, config,
+                valid_pattern=encoder.weight_valid_indices(tile),
+            )
+        out = pipes[key].multiply(w_poly, a_poly)
+        return np.array([int(v) for v in out], dtype=np.int64)
+
+    return conv2d_via_polynomials(
+        np.asarray(x, dtype=np.int64),
+        np.asarray(w, dtype=np.int64),
+        shape,
+        n,
+        tiled_polymul=tiled_polymul,
+    )

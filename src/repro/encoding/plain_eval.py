@@ -28,12 +28,18 @@ def _default_polymul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.array([int(v) for v in out], dtype=np.int64)
 
 
+TiledPolyMul = Callable[
+    [Conv2dEncoder, int, np.ndarray, np.ndarray], np.ndarray
+]
+
+
 def conv2d_via_polynomials(
     x: np.ndarray,
     w: np.ndarray,
     shape: ConvShape,
     n: int,
     polymul: Optional[PolyMul] = None,
+    tiled_polymul: Optional[TiledPolyMul] = None,
 ) -> np.ndarray:
     """Compute ``conv2d(x, w)`` through the coefficient encoding.
 
@@ -48,6 +54,9 @@ def conv2d_via_polynomials(
         n: polynomial degree.
         polymul: negacyclic product of two length-n integer vectors;
             defaults to the exact schoolbook reference.
+        tiled_polymul: alternative multiplier receiving the band encoder
+            and tile index as well, for engines that need structural
+            metadata (the sparse weight patterns); overrides ``polymul``.
 
     Returns:
         ``M x out_h x out_w`` int64 output.
@@ -83,7 +92,12 @@ def conv2d_via_polynomials(
             w_polys = encoder.encode_weights(w_phase)
             products: Dict[Tuple[int, int], np.ndarray] = {}
             for (tile, m), w_poly in w_polys.items():
-                products[(tile, m)] = polymul(in_polys[tile], w_poly)
+                if tiled_polymul is not None:
+                    products[(tile, m)] = tiled_polymul(
+                        encoder, tile, in_polys[tile], w_poly
+                    )
+                else:
+                    products[(tile, m)] = polymul(in_polys[tile], w_poly)
             y = encoder.decode_output(products)
             r0 = row_start
             r1 = min(r0 + y.shape[1], shape.out_height)

@@ -43,6 +43,13 @@ class ProtocolStats:
     weight_transforms: int = 0
     input_transforms: int = 0
     inverse_transforms: int = 0
+    # Weight-transform multiplication accounting, populated when the
+    # backend runs compiled sparse plans (repro.runtime's
+    # SparseBatchedFftBackend): realized = executed by the plans, dense =
+    # dense-butterfly equivalent, model = repro.sparse.opcount prediction.
+    weight_mults_realized: int = 0
+    weight_mults_dense: int = 0
+    weight_mults_model: int = 0
     min_noise_budget: float = float("inf")
     bytes_sent: int = 0
     bytes_received: int = 0
@@ -65,6 +72,19 @@ class ProtocolStats:
     @property
     def total_bytes(self) -> int:
         return self.bytes_sent + self.bytes_received
+
+    @property
+    def realized_mult_reduction(self) -> float:
+        """Fraction of dense weight-FFT mults removed by executed plans."""
+        if not self.weight_mults_dense:
+            return 0.0
+        return 1.0 - self.weight_mults_realized / self.weight_mults_dense
+
+    @property
+    def model_mult_reduction(self) -> float:
+        if not self.weight_mults_dense:
+            return 0.0
+        return 1.0 - self.weight_mults_model / self.weight_mults_dense
 
 
 @dataclass
@@ -142,6 +162,26 @@ class _ResilientProtocolMixin:
         return self.guard is not None and isinstance(
             self.backend, FftPolyMulBackend
         )
+
+    def _absorb_backend_mults(self, *stats: ProtocolStats) -> None:
+        """Attribute the backend's weight-transform mult accounting.
+
+        Reads the ``last_stats`` left by the most recent ``multiply_many``
+        call (the sparse runtime backend reports realized/dense/model
+        counts there); call sites invoke this immediately after the
+        batched product call.  Counts are per logical layer workload, so
+        -- like ``weight_transforms`` -- each item of a batch is charged
+        the full shared-transform count.
+        """
+        last = getattr(self.backend, "last_stats", None)
+        if last is None:
+            return
+        for st in stats:
+            st.weight_mults_realized += getattr(
+                last, "weight_mults_realized", 0
+            )
+            st.weight_mults_dense += getattr(last, "weight_mults_dense", 0)
+            st.weight_mults_model += getattr(last, "weight_mults_model", 0)
 
 
 class HybridConvProtocol(_ResilientProtocolMixin):
@@ -495,6 +535,7 @@ class HybridConvProtocol(_ResilientProtocolMixin):
                     )
                     weights.extend((w_poly, w_poly))
             outs = self.backend.multiply_many(polys, weights)
+            self._absorb_backend_mults(*stats)
             for item in range(batch):
                 for i, (m, tile) in enumerate(pairs):
                     k = 2 * (item * len(pairs) + i)
@@ -576,6 +617,8 @@ class HybridConvProtocol(_ResilientProtocolMixin):
         y_client = np.zeros((enc.shape.out_channels, oh, ow), dtype=np.int64)
         y_server = np.zeros_like(y_client)
         products = self._phase_products(ctx, full_cts, w_polys, enc.shape.out_channels)
+        if self.backend is not None and hasattr(self.backend, "multiply_many"):
+            self._absorb_backend_mults(stats)
         for m in range(enc.shape.out_channels):
             acc = None
             for tile in range(len(full_cts)):

@@ -9,6 +9,10 @@ The execution layer between the protocol and the transform kernels:
 * :class:`BatchedNttBackend` / :class:`BatchedFftBackend` -- drop-in
   polynomial-multiplication backends whose ``multiply_many`` batches the
   transforms of the encrypted path and fans RNS limbs across workers.
+* :class:`SparseBatchedFftBackend` -- the FLASH sparse dataflow in the hot
+  path: weight transforms run compiled per-pattern skipping/merging plans
+  (:class:`repro.sparse.plan.SparsePlan`), bit-identical to the per-call
+  sparse oracles, with realized-vs-model mult reduction in ``last_stats``.
 """
 
 from repro.runtime.engine import (
@@ -16,6 +20,7 @@ from repro.runtime.engine import (
     BatchedHConvEngine,
     BatchedNttBackend,
     RuntimeStats,
+    SparseBatchedFftBackend,
     fan_out,
 )
 from repro.runtime.plan_cache import (
@@ -31,6 +36,7 @@ __all__ = [
     "BatchedNttBackend",
     "PlanCache",
     "RuntimeStats",
+    "SparseBatchedFftBackend",
     "approx_config_key",
     "estimate_nbytes",
     "fan_out",

@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -107,13 +107,24 @@ def _split_groups(items: Sequence, groups: int) -> List[list]:
 
 @dataclass
 class RuntimeStats:
-    """Per-run accounting: stage timings, work counts, cache behaviour."""
+    """Per-run accounting: stage timings, work counts, cache behaviour.
+
+    The ``weight_mults_*`` counters track weight-transform multiplication
+    work per *requested* transform (deterministic regardless of cache
+    warmth): ``realized`` is what the executed plans actually perform,
+    ``dense`` is the dense-butterfly count for the same transforms, and
+    ``model`` is the analytical :mod:`repro.sparse.opcount` prediction.
+    """
 
     mode: str = "ntt"
     batch: int = 0
     products: int = 0
     workers: int = 1
     worker_faults: int = 0
+    weight_transforms: int = 0
+    weight_mults_realized: int = 0
+    weight_mults_dense: int = 0
+    weight_mults_model: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cache: Dict[str, float] = field(default_factory=dict)
 
@@ -123,6 +134,20 @@ class RuntimeStats:
     @property
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
+
+    @property
+    def realized_mult_reduction(self) -> float:
+        """Fraction of dense weight-FFT mults removed by the executed plans."""
+        if not self.weight_mults_dense:
+            return 0.0
+        return 1.0 - self.weight_mults_realized / self.weight_mults_dense
+
+    @property
+    def model_mult_reduction(self) -> float:
+        """The :mod:`repro.sparse.opcount` prediction for the same transforms."""
+        if not self.weight_mults_dense:
+            return 0.0
+        return 1.0 - self.weight_mults_model / self.weight_mults_dense
 
     def describe(self) -> str:
         lines = [
@@ -139,6 +164,14 @@ class RuntimeStats:
         ):
             frac = seconds / self.total_seconds if self.total_seconds else 0.0
             lines.append(f"  {stage:<22} {seconds * 1e3:9.2f} ms  ({frac:5.1%})")
+        if self.weight_mults_dense:
+            lines.append(
+                f"  weight mults: {self.weight_mults_realized}"
+                f"/{self.weight_mults_dense} dense "
+                f"({self.realized_mult_reduction:.1%} removed; "
+                f"model {self.model_mult_reduction:.1%}) over "
+                f"{self.weight_transforms} transforms"
+            )
         if self.cache:
             lines.append(
                 "  plan cache: "
@@ -190,9 +223,15 @@ class BatchedHConvEngine:
     ``plan_cache``, which synchronizes internally.
 
     Args:
-        mode: ``"ntt"`` (exact), ``"fft"`` (float64 folded FFT) or
-            ``"flash"`` (approximate fixed-point weight transforms).
-        weight_config: fixed-point configuration for ``mode="flash"``.
+        mode: ``"ntt"`` (exact), ``"fft"`` (float64 folded FFT),
+            ``"flash"`` (approximate fixed-point weight transforms) or
+            ``"sparse"`` (flash with compiled sparse weight plans: the
+            structural zero pattern of each channel tile drives the
+            skipping/merging dataflow of :class:`repro.sparse.plan
+            .SparsePlan`, bit-identical to per-call
+            :class:`repro.sparse.sparse_fxp.SparseApproxNegacyclic`).
+        weight_config: fixed-point configuration for ``mode="flash"`` /
+            ``"sparse"``.
         plan_cache: shared :class:`PlanCache`; a fresh bounded cache with
             entry-integrity checking when omitted (a tampered cached
             spectrum is evicted and recomputed rather than served).
@@ -204,7 +243,7 @@ class BatchedHConvEngine:
             ``last_stats.worker_faults``.
     """
 
-    MODES = ("ntt", "fft", "flash")
+    MODES = ("ntt", "fft", "flash", "sparse")
 
     def __init__(
         self,
@@ -216,9 +255,9 @@ class BatchedHConvEngine:
     ):
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
-        if mode == "flash" and weight_config is None:
-            raise ValueError("mode='flash' needs a weight_config")
-        if mode != "flash":
+        if mode in ("flash", "sparse") and weight_config is None:
+            raise ValueError(f"mode={mode!r} needs a weight_config")
+        if mode not in ("flash", "sparse"):
             weight_config = None
         self.mode = mode
         self.weight_config = weight_config
@@ -269,6 +308,119 @@ class BatchedHConvEngine:
             key, lambda: pipe.weight_forward(w_poly)
         )
 
+    def _sparse_plan(self, n: int, folded_pattern: np.ndarray):
+        """Compiled sparse plan for one folded pattern (cached, digested)."""
+        from repro.sparse.plan import SparsePlan
+
+        cfg = self.weight_config
+        key = (
+            "sparse-plan",
+            n // 2,
+            approx_config_key(cfg),
+            folded_pattern.tobytes(),
+        )
+        return self.plan_cache.get_or_build(
+            key, lambda: SparsePlan(cfg, folded_pattern, sign=+1)
+        )
+
+    def _sparse_poly_spectrum(self, n: int, w_poly: np.ndarray):
+        """Sparse spectrum of one standalone weight polynomial.
+
+        Without encoder tile metadata the structural pattern is the
+        polynomial's own support (a superset never changes the result,
+        so this is exact for any weight).
+        """
+        from repro.sparse.patterns import fold_valid_indices
+        from repro.sparse.plan import SparseWeightPipeline
+
+        w_poly = np.ascontiguousarray(w_poly, dtype=np.int64)
+        pattern = fold_valid_indices(np.nonzero(w_poly)[0], n)
+        plan = self._sparse_plan(n, pattern)
+        key = (
+            "sparse-wspec",
+            n,
+            approx_config_key(self.weight_config),
+            pattern.tobytes(),
+            w_poly.tobytes(),
+        )
+        return self.plan_cache.get_or_build(
+            key,
+            lambda: SparseWeightPipeline(
+                n, self.weight_config, pattern, plan=plan
+            ).weight_forward(w_poly),
+        )
+
+    def _sparse_weight_specs(
+        self,
+        n: int,
+        enc: Conv2dEncoder,
+        pairs: List[Tuple[int, int]],
+        w_polys: Dict[Tuple[int, int], np.ndarray],
+        stats: RuntimeStats,
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        """Sparse weight spectra for every ``(tile, m)`` pair of a band.
+
+        All output channels of a tile share one structural pattern
+        (:meth:`Conv2dEncoder.weight_valid_indices`), hence one compiled
+        plan; cache-missing spectra of a tile are computed in a single
+        batched plan execution.  Mult counters are charged per requested
+        transform so the accounting is cache-warmth independent.
+        """
+        from repro.fftcore.approx_pipeline import ApproxSpectrum
+        from repro.sparse.opcount import sparse_fft_mults
+        from repro.sparse.patterns import fold_valid_indices
+        from repro.sparse.plan import SparseWeightPipeline
+
+        cfg_key = approx_config_key(self.weight_config)
+        w_specs: Dict[Tuple[int, int], np.ndarray] = {}
+        for tile in sorted({t for t, _ in pairs}):
+            pattern = fold_valid_indices(enc.weight_valid_indices(tile), n)
+            plan = self._sparse_plan(n, pattern)
+            pipe_s = SparseWeightPipeline(
+                n, self.weight_config, pattern, plan=plan
+            )
+            group = [pair for pair in pairs if pair[0] == tile]
+            keys = {
+                pair: (
+                    "sparse-wspec",
+                    n,
+                    cfg_key,
+                    pattern.tobytes(),
+                    np.ascontiguousarray(
+                        w_polys[pair], dtype=np.int64
+                    ).tobytes(),
+                )
+                for pair in group
+            }
+            missing = [p for p in group if keys[p] not in self.plan_cache]
+            built: Dict[Tuple[int, int], ApproxSpectrum] = {}
+            if missing:
+                stack = np.stack([w_polys[p] for p in missing])
+                spec = pipe_s.weight_forward_batch(stack)
+                built = {
+                    p: ApproxSpectrum(
+                        values=spec.values[i], scale=float(spec.scale[i])
+                    )
+                    for i, p in enumerate(missing)
+                }
+            for pair in group:
+                value = self.plan_cache.get_or_build(
+                    keys[pair],
+                    # Evicted between the contains check and here: rebuild
+                    # as a batch of one (bit-identical by construction).
+                    lambda p=pair: built[p]
+                    if p in built
+                    else pipe_s.weight_forward(w_polys[p]),
+                )
+                w_specs[pair] = value.values
+            stats.weight_transforms += len(group)
+            stats.weight_mults_realized += plan.mults * len(group)
+            stats.weight_mults_dense += plan.dense_mults * len(group)
+            stats.weight_mults_model += sparse_fft_mults(
+                tuple(int(v) for v in pattern), n // 2
+            ) * len(group)
+        return w_specs
+
     # -- batched polynomial products ------------------------------------
 
     def polymul_batch(self, a_batch, w_poly, value_bound: int) -> np.ndarray:
@@ -289,7 +441,10 @@ class BatchedHConvEngine:
             spec = mulmod(plan.forward_batch(from_centered(a_batch, q)), w_spec, q)
             return centered(plan.inverse_batch(spec), q)
         pipe = self._fft_pipeline(n)
-        w_spec = self._fft_weight_spectrum(pipe, w_poly)
+        if self.mode == "sparse":
+            w_spec = self._sparse_poly_spectrum(n, w_poly)
+        else:
+            w_spec = self._fft_weight_spectrum(pipe, w_poly)
         a_spec = pipe.activation_forward_batch(a_batch.astype(np.float64))
         return _round_rows_exact(
             pipe.multiply_spectra_batch(w_spec.values, a_spec)
@@ -408,10 +563,26 @@ class BatchedHConvEngine:
         else:
             pipe = self._fft_pipeline(n)
             with _Timer(stats, "weight_transform"):
-                w_specs = {
-                    pair: self._fft_weight_spectrum(pipe, w_polys[pair]).values
-                    for pair in pairs
-                }
+                if self.mode == "sparse":
+                    w_specs = self._sparse_weight_specs(
+                        n, enc, pairs, w_polys, stats
+                    )
+                else:
+                    w_specs = {
+                        pair: self._fft_weight_spectrum(
+                            pipe, w_polys[pair]
+                        ).values
+                        for pair in pairs
+                    }
+                    if self.mode == "flash":
+                        # Dense fixed-point weight FFT: every butterfly
+                        # multiplies, so realized == dense == model.
+                        stages = (n // 2).bit_length() - 1
+                        dense = (n // 4) * stages * len(pairs)
+                        stats.weight_transforms += len(pairs)
+                        stats.weight_mults_realized += dense
+                        stats.weight_mults_dense += dense
+                        stats.weight_mults_model += dense
             with _Timer(stats, "activation_transform"):
                 a_spec = pipe.activation_forward_batch(
                     a_stack.astype(np.float64)
@@ -574,6 +745,8 @@ class BatchedFftBackend(FftPolyMulBackend):
     batched results are bit-identical to per-call ``multiply``.
     """
 
+    _stats_mode = "flash"
+
     def __init__(
         self,
         weight_config: Optional[ApproxFftConfig] = None,
@@ -584,11 +757,29 @@ class BatchedFftBackend(FftPolyMulBackend):
         super().__init__(weight_config=weight_config, **kwargs)
         self.max_workers = max_workers
         self.fault_injector = fault_injector
-        self.last_stats = RuntimeStats(mode="flash")
+        self.last_stats = RuntimeStats(mode=self._stats_mode)
 
     def _maybe_poison(self, tag) -> None:
         if self.fault_injector is not None:
             self.fault_injector.poison(tag)
+
+    def _weight_rows(
+        self, n: int, weights_list: List[np.ndarray]
+    ) -> Tuple[np.ndarray, Dict[str, int]]:
+        """Stacked weight spectra plus mult accounting for one call.
+
+        Subclasses override this to change how spectra are produced (the
+        sparse backend swaps in compiled plans); the accounting dict feeds
+        the ``weight_mults_*`` fields of ``last_stats`` and is returned
+        (not stored on ``self``) so concurrent calls stay race-free.
+        """
+        rows = np.stack(
+            [
+                self.weight_spectrum(n, np.asarray(w)).values
+                for w in weights_list
+            ]
+        )
+        return rows, {}
 
     def multiply_many(
         self, polys: List[RingPoly], weights_list: List[np.ndarray]
@@ -600,12 +791,7 @@ class BatchedFftBackend(FftPolyMulBackend):
         basis = polys[0].basis
         n, q = basis.n, basis.modulus
         pipe = self.pipeline(n)
-        w_rows = np.stack(
-            [
-                self.weight_spectrum(n, np.asarray(w)).values
-                for w in weights_list
-            ]
-        )
+        w_rows, mult_stats = self._weight_rows(n, weights_list)
 
         def lift_job(index: int) -> np.ndarray:
             self._maybe_poison(("lift", index))
@@ -633,10 +819,148 @@ class BatchedFftBackend(FftPolyMulBackend):
             recovery=recovery,
         )
         self.last_stats = RuntimeStats(
-            mode="flash",
+            mode=self._stats_mode,
             batch=len(polys),
             products=len(polys),
             workers=self.max_workers or 1,
             worker_faults=recovery.faults,
+            **mult_stats,
         )
         return out
+
+
+class SparseBatchedFftBackend(BatchedFftBackend):
+    """Batched FLASH backend whose weight transforms run compiled sparse plans.
+
+    Identical to :class:`BatchedFftBackend` except that each weight's
+    spectrum is produced by a :class:`repro.sparse.plan.SparsePlan`
+    compiled for its structural zero pattern -- by default the weight's
+    own support (``np.nonzero``), optionally a fixed layer ``pattern``.
+    Weights sharing a folded pattern share one plan and are transformed
+    in one batched execution; every spectrum is bit-identical to per-call
+    :meth:`repro.sparse.sparse_fxp.SparseApproxNegacyclic.weight_forward`
+    with the same pattern.
+
+    ``last_stats`` reports realized/dense/model multiplication counts per
+    *distinct* weight in the call (c0/c1 and cross-item repeats dedupe by
+    spectrum key), so the accounting is deterministic and cache-warmth
+    independent.
+    """
+
+    _stats_mode = "sparse"
+
+    def __init__(
+        self,
+        weight_config: Optional[ApproxFftConfig] = None,
+        pattern: Optional[Sequence[int]] = None,
+        max_workers: Optional[int] = None,
+        fault_injector=None,
+        **kwargs,
+    ):
+        super().__init__(
+            weight_config=weight_config,
+            max_workers=max_workers,
+            fault_injector=fault_injector,
+            **kwargs,
+        )
+        if self.weight_config is None:
+            raise ValueError("SparseBatchedFftBackend needs a weight_config")
+        self.pattern = (
+            None
+            if pattern is None
+            else np.array(sorted({int(v) for v in pattern}), dtype=np.int64)
+        )
+        # Compiled plans get their own byte-accounted, digest-checked cache:
+        # per-weight support inference can produce many more patterns than
+        # the small ``_pipelines`` entry bound was sized for.
+        self.plan_cache = PlanCache(
+            capacity_bytes=32 << 20, check_integrity=True
+        )
+
+    def _sparse_plan(self, n: int, folded_pattern: np.ndarray):
+        from repro.sparse.plan import SparsePlan
+
+        cfg = self.weight_config
+        key = (
+            "sparse-plan",
+            n // 2,
+            approx_config_key(cfg),
+            folded_pattern.tobytes(),
+        )
+        return self.plan_cache.get_or_build(
+            key, lambda: SparsePlan(cfg, folded_pattern, sign=+1)
+        )
+
+    def _weight_rows(
+        self, n: int, weights_list: List[np.ndarray]
+    ) -> Tuple[np.ndarray, Dict[str, int]]:
+        from repro.fftcore.approx_pipeline import ApproxSpectrum
+        from repro.sparse.opcount import sparse_fft_mults
+        from repro.sparse.patterns import fold_valid_indices
+        from repro.sparse.plan import SparseWeightPipeline
+
+        weights = [
+            np.ascontiguousarray(w, dtype=np.int64) for w in weights_list
+        ]
+        folded = []
+        for w in weights:
+            support = self.pattern if self.pattern is not None else (
+                np.nonzero(w)[0]
+            )
+            folded.append(fold_valid_indices(support, n))
+        # Group indices by folded pattern; within a group, dedupe weights
+        # by bytes so repeated weights (c0/c1 of one ciphertext, shared
+        # kernels across a batch) are transformed and counted once.
+        groups: Dict[bytes, List[int]] = {}
+        for i, fp in enumerate(folded):
+            groups.setdefault(fp.tobytes(), []).append(i)
+        rows = np.empty((len(weights), n // 2), dtype=np.complex128)
+        realized = dense = model = transforms = 0
+        for idxs in groups.values():
+            fp = folded[idxs[0]]
+            plan = self._sparse_plan(n, fp)
+            pipe_s = SparseWeightPipeline(
+                n, self.weight_config, fp, plan=plan
+            )
+            keys = {
+                i: ("sparse-wspec", n, fp.tobytes(), weights[i].tobytes())
+                for i in idxs
+            }
+            unique: Dict[Hashable, List[int]] = {}
+            for i in idxs:
+                unique.setdefault(keys[i], []).append(i)
+            missing = [
+                key for key in unique if key not in self._spectrum_cache
+            ]
+            built: Dict[Hashable, ApproxSpectrum] = {}
+            if missing:
+                stack = np.stack([weights[unique[k][0]] for k in missing])
+                spec = pipe_s.weight_forward_batch(stack)
+                built = {
+                    k: ApproxSpectrum(
+                        values=spec.values[j], scale=float(spec.scale[j])
+                    )
+                    for j, k in enumerate(missing)
+                }
+            for key, shared in unique.items():
+                value = self._spectrum_cache.get_or_build(
+                    key,
+                    lambda k=key, i=shared[0]: built[k]
+                    if k in built
+                    else pipe_s.weight_forward(weights[i]),
+                )
+                for i in shared:
+                    rows[i] = value.values
+            mults_model = sparse_fft_mults(
+                tuple(int(v) for v in fp), n // 2
+            )
+            transforms += len(unique)
+            realized += plan.mults * len(unique)
+            dense += plan.dense_mults * len(unique)
+            model += mults_model * len(unique)
+        return rows, {
+            "weight_transforms": transforms,
+            "weight_mults_realized": realized,
+            "weight_mults_dense": dense,
+            "weight_mults_model": model,
+        }

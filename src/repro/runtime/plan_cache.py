@@ -102,7 +102,13 @@ def value_digest(value: Any) -> Optional[int]:
             walk(values)
             walk(getattr(v, "scale", None))
             return
-        # Opaque objects (transform plans etc.): nothing to digest.
+        payload = getattr(v, "digest_payload", None)
+        if callable(payload):
+            # Compiled plans (e.g. repro.sparse.plan.SparsePlan) expose
+            # their index/twiddle arrays for integrity checking.
+            walk(payload())
+            return
+        # Opaque objects (other transform plans etc.): nothing to digest.
 
     walk(value)
     return state["crc"] if state["found"] else None

@@ -11,6 +11,15 @@ from repro.sparse.opcount import (
     synthetic_polymul_counts,
     weight_transform_reduction,
 )
+from repro.sparse.plan import (
+    GENERAL,
+    ZERO,
+    SparsePlan,
+    SparseWeightPipeline,
+    butterfly_tags,
+    compile_sparse_plan,
+    scaled,
+)
 from repro.sparse.sparse_fxp import (
     SparseApproxNegacyclic,
     SparseFixedPointFft,
@@ -28,6 +37,7 @@ from repro.sparse.patterns import (
 )
 
 __all__ = [
+    "GENERAL",
     "PatternStats",
     "PolyMulCounts",
     "SparseFft",
@@ -35,8 +45,13 @@ __all__ = [
     "SparseApproxNegacyclic",
     "SparseFixedPointFft",
     "SparseFxpResult",
+    "SparsePlan",
+    "SparseWeightPipeline",
+    "ZERO",
     "bit_reversed_positions",
+    "butterfly_tags",
     "classify_pattern",
+    "compile_sparse_plan",
     "contiguous_block_pattern",
     "conv_like_pattern",
     "conv_polymul_counts",
@@ -45,6 +60,7 @@ __all__ = [
     "dense_fft_mults",
     "direct_coeff_mults",
     "fold_valid_indices",
+    "scaled",
     "sparse_fft_mults",
     "synthetic_polymul_counts",
     "uniform_stride_pattern",
