@@ -245,10 +245,17 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
     cfg = ApproxFftConfig(
         n=args.n // 2, stage_widths=27, twiddle_k=18, twiddle_max_shift=24
     )
+    cluster_workers = getattr(args, "cluster_workers", 0) or 0
+    executor = None
+    if cluster_workers:
+        from repro.cluster import make_executor
+
+        executor = make_executor(workers=cluster_workers)
     print(
         f"layer {args.channels}x{args.size}x{args.size} -> "
         f"{args.out_channels} ch, {args.kernel}x{args.kernel} kernel, "
         f"n={args.n}, batch={args.batch}, workers={args.workers or 1}"
+        + (f", cluster={cluster_workers} processes" if cluster_workers else "")
     )
     if args.mode == "both":
         modes = ["ntt", "flash"]
@@ -266,6 +273,7 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
             "size": args.size,
             "kernel": args.kernel,
             "workers": args.workers or 1,
+            "cluster_workers": cluster_workers,
             "seed": args.seed,
         },
         "modes": {},
@@ -275,6 +283,7 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
             mode=mode,
             weight_config=cfg if mode in ("flash", "sparse") else None,
             max_workers=args.workers,
+            cluster=executor,
         )
         engine.conv2d_batch(xs[:1], w, shape, args.n)  # warm the plan cache
         t0 = time.perf_counter()
@@ -324,7 +333,10 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
                 "realized_reduction": stats.realized_mult_reduction,
                 "model_reduction": stats.model_mult_reduction,
             },
+            "cluster": dict(stats.cluster),
         }
+    if executor is not None:
+        executor.close()
     if args.json:
         import json
 
@@ -338,11 +350,15 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     """Compare a ``bench-runtime --json`` trajectory against a baseline.
 
-    Deterministic metrics (bit-identity, product counts, weight-transform
-    mult counts) must match exactly; the realized mult reduction must stay
-    within ``--mult-tolerance`` of the analytical opcount model; timings
-    gate only through ``--speed-tolerance`` (generous by default -- CI
-    machines vary, silent 10x regressions do not).
+    The standing perf-regression gate: deterministic metrics
+    (bit-identity, product counts, weight-transform mult counts) must
+    match exactly; the realized mult reduction must stay within
+    ``--mult-tolerance`` of the analytical opcount model; timings gate
+    relatively through ``--speed-tolerance`` (generous by default -- CI
+    machines vary, silent 10x regressions do not) *and* absolutely
+    through explicit speedup floors -- the baseline's ``gates`` section
+    (``min_speedup`` / ``min_mult_reduction`` per mode), overridable via
+    ``--min-speedup [MODE=]X``.  Any violation fails the build (exit 1).
     """
     import json
 
@@ -361,6 +377,23 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         print(f"  baseline: {baseline.get('params')}", file=sys.stderr)
         print(f"  current:  {current.get('params')}", file=sys.stderr)
         return 2
+
+    gates = baseline.get("gates", {})
+    speedup_floors = dict(gates.get("min_speedup", {}))
+    reduction_floors = dict(gates.get("min_mult_reduction", {}))
+    for spec in args.min_speedup or []:
+        mode_name, sep, value = spec.partition("=")
+        if not sep:
+            mode_name, value = "*", spec
+        try:
+            speedup_floors[mode_name] = float(value)
+        except ValueError:
+            print(
+                f"bench-check: bad --min-speedup {spec!r} "
+                "(expected X or MODE=X)",
+                file=sys.stderr,
+            )
+            return 2
 
     failures = []
 
@@ -415,6 +448,28 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
             f"(floor {floor:.2f}x = baseline "
             f"{base.get('speedup', 0.0):.2f}x - {args.speed_tolerance:.0%})",
         )
+        abs_floor = speedup_floors.get(mode, speedup_floors.get("*"))
+        if abs_floor is not None:
+            check(
+                mode, "min_speedup",
+                cur.get("speedup", 0.0) >= abs_floor,
+                f"{cur.get('speedup', 0.0):.2f}x "
+                f"(explicit floor {abs_floor:.2f}x)",
+            )
+        red_floor = reduction_floors.get(mode)
+        if red_floor is not None:
+            check(
+                mode, "min_mult_reduction",
+                cur_wm.get("realized_reduction", 0.0) >= red_floor,
+                f"{cur_wm.get('realized_reduction', 0.0):.4f} "
+                f"(explicit floor {red_floor:.4f})",
+            )
+        if cur.get("cluster"):
+            recoveries = cur["cluster"].get("recoveries", 0)
+            check(
+                mode, "cluster_recoveries", recoveries == 0,
+                f"{recoveries} recovery events in a clean bench run",
+            )
 
     if failures:
         print(f"\nbench-check: {len(failures)} regression(s):")
@@ -435,6 +490,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             max_rate=args.max_rate,
             n=args.n,
             workers=args.workers,
+            cluster=args.cluster,
+            cluster_workers=args.cluster_workers,
         )
     except ValueError as exc:
         print(f"chaos: {exc}", file=sys.stderr)
@@ -595,6 +652,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", type=int, default=3)
     p.add_argument("--workers", type=int, default=0,
                    help="thread-pool width (0 = serial)")
+    p.add_argument("--cluster-workers", type=int, default=0,
+                   help="shard across N supervised worker processes "
+                        "(repro.cluster; 0 = in-process)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", default="", metavar="PATH",
                    help="also write the benchmark trajectory as JSON")
@@ -620,6 +680,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed relative speedup regression vs baseline "
              "(default 0.6: generous, catches order-of-magnitude drops)",
     )
+    p.add_argument(
+        "--min-speedup", action="append", default=None, metavar="[MODE=]X",
+        help="explicit absolute speedup floor (repeatable; MODE=X for one "
+             "mode, bare X for all); extends the baseline's 'gates' "
+             "section and fails the build when violated",
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -635,6 +701,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="polynomial degree of the probe parameters")
     p.add_argument("--workers", type=int, default=2,
                    help="thread-pool width for the runtime probe")
+    p.add_argument("--cluster", action="store_true",
+                   help="also run the cluster probe: SIGKILL/hang random "
+                        "supervised worker processes mid-campaign and "
+                        "bit-compare against the serial path")
+    p.add_argument("--cluster-workers", type=int, default=2,
+                   help="pool width for the cluster probe")
     p.add_argument("--json", default="", metavar="PATH",
                    help="also write the campaign report as JSON")
 

@@ -1,0 +1,31 @@
+"""Supervised multi-process sharded execution with crash recovery.
+
+``repro.cluster`` bridges the hardened single-process runtime to a
+serving-system execution model: batched conv / ``multiply_many`` work is
+sharded across N supervised worker processes, jobs travel as
+CRC32-framed envelopes (the :mod:`repro.faults.channel` wire format), and
+the supervisor detects worker death and hangs, respawns with plan-cache
+warmup replay, requeues in-flight jobs with exactly-once result
+application, and degrades to the deterministic serial path when the pool
+collapses.  See ``docs/robustness.md`` ("Supervised multi-process
+execution") and ``docs/runtime.md`` (cluster quickstart).
+"""
+
+from repro.cluster.executor import ClusterExecutor, make_executor
+from repro.cluster.supervisor import (
+    ClusterError,
+    ClusterFaultInjector,
+    ClusterPolicy,
+    ClusterStats,
+    ClusterSupervisor,
+)
+
+__all__ = [
+    "ClusterError",
+    "ClusterExecutor",
+    "ClusterFaultInjector",
+    "ClusterPolicy",
+    "ClusterStats",
+    "ClusterSupervisor",
+    "make_executor",
+]

@@ -73,24 +73,31 @@ class FlashConfig:
         """Float64 FFT backend (the "FFT (FP)" ablation arm)."""
         return FftPolyMulBackend(weight_config=None)
 
-    def batched_flash_backend(self, max_workers: Optional[int] = None):
+    def batched_flash_backend(
+        self, max_workers: Optional[int] = None, cluster=None
+    ):
         """Approximate backend with batched ``multiply_many`` support."""
         from repro.runtime import BatchedFftBackend
 
         return BatchedFftBackend(
-            weight_config=self.weight_fft_config(), max_workers=max_workers
+            weight_config=self.weight_fft_config(),
+            max_workers=max_workers,
+            cluster=cluster,
         )
 
-    def batched_exact_backend(self, max_workers: Optional[int] = None):
+    def batched_exact_backend(
+        self, max_workers: Optional[int] = None, cluster=None
+    ):
         """Exact NTT backend with batched ``multiply_many`` support."""
         from repro.runtime import BatchedNttBackend
 
-        return BatchedNttBackend(max_workers=max_workers)
+        return BatchedNttBackend(max_workers=max_workers, cluster=cluster)
 
     def batched_sparse_backend(
         self,
         max_workers: Optional[int] = None,
         pattern: Optional[List[int]] = None,
+        cluster=None,
     ):
         """Approximate backend running compiled sparse weight plans.
 
@@ -103,6 +110,7 @@ class FlashConfig:
             weight_config=self.weight_fft_config(),
             pattern=pattern,
             max_workers=max_workers,
+            cluster=cluster,
         )
 
     def describe(self) -> str:

@@ -71,6 +71,20 @@ class Flash:
         self._cham = ChamModel(n=self.config.n)
         self._session = None
         self._batched_backends: Dict = {}
+        self._cluster_executors: Dict = {}
+
+    def close(self) -> None:
+        """Shut down any cluster worker pools this facade spawned."""
+        for executor in self._cluster_executors.values():
+            executor.close()
+        self._cluster_executors.clear()
+        self._batched_backends.clear()
+
+    def __enter__(self) -> "Flash":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Private inference (actual cryptography)
@@ -82,17 +96,44 @@ class Flash:
             self._session = make_session(self.config.params, rng)
         return self._session
 
-    def _batched_backend(self, kind: str, max_workers: Optional[int]):
+    def _cluster_executor(self, cluster):
+        """Resolve the ``cluster=`` argument of :meth:`private_conv2d`.
+
+        An ``int`` is a pool width: the facade builds (and caches, so the
+        pool and its workers' warm plan caches persist across layer calls)
+        a :class:`repro.cluster.ClusterExecutor`.  Anything else is
+        treated as a ready executor owned by the caller.
+        """
+        if cluster is None:
+            return None
+        if isinstance(cluster, int):
+            if cluster < 1:
+                raise ValueError(f"cluster width must be >= 1, got {cluster}")
+            if cluster not in self._cluster_executors:
+                from repro.cluster import make_executor
+
+                self._cluster_executors[cluster] = make_executor(
+                    workers=cluster
+                )
+            return self._cluster_executors[cluster]
+        return cluster
+
+    def _batched_backend(
+        self, kind: str, max_workers: Optional[int], cluster=None
+    ):
         """Batched backend instance, cached so plan/spectrum caches persist
         across layer calls (the whole point of the runtime's PlanCache)."""
-        key = (kind, max_workers)
+        executor = self._cluster_executor(cluster)
+        key = (kind, max_workers, executor)
         if key not in self._batched_backends:
             factory = {
                 "exact": self.config.batched_exact_backend,
                 "flash": self.config.batched_flash_backend,
                 "sparse": self.config.batched_sparse_backend,
             }[kind]
-            self._batched_backends[key] = factory(max_workers)
+            self._batched_backends[key] = factory(
+                max_workers, cluster=executor
+            )
         return self._batched_backends[key]
 
     def private_conv2d(
@@ -105,6 +146,7 @@ class Flash:
         batch: bool = False,
         sparse: bool = False,
         max_workers: Optional[int] = None,
+        cluster=None,
         transport=None,
         guard=None,
     ):
@@ -131,6 +173,13 @@ class Flash:
                 result stats.
             max_workers: worker-pool width for the batched runtime
                 (``None`` keeps the deterministic serial fallback).
+            cluster: shard the batched products across supervised worker
+                *processes* (:mod:`repro.cluster`): an ``int`` pool width
+                (the facade owns the pool; call :meth:`close` when done)
+                or a ready :class:`repro.cluster.ClusterExecutor`.
+                Implies the batched runtime; bit-identical to the
+                in-process path, with crash recovery and the supervision
+                counters in the result stats.
             transport: optional :class:`repro.faults.ResilientSession`
                 carrying the ciphertext traffic over its checksummed
                 channel (retry/timeout counts land in the result stats).
@@ -139,9 +188,9 @@ class Flash:
         """
         if sparse and exact:
             raise ValueError("sparse=True is incompatible with exact=True")
-        if batch or sparse:
+        if batch or sparse or cluster is not None:
             kind = "exact" if exact else ("sparse" if sparse else "flash")
-            backend = self._batched_backend(kind, max_workers)
+            backend = self._batched_backend(kind, max_workers, cluster)
             protocol = HybridConvProtocol(
                 self.config.params, shape, backend,
                 transport=transport, guard=guard,

@@ -60,6 +60,14 @@ class ProtocolStats:
     checksum_failures: int = 0
     dead_letters: int = 0
     degraded: bool = False
+    # Supervised multi-process execution (populated when the batched
+    # products ran on a repro.cluster executor): per-run supervision
+    # counters of the backend calls attributed to this layer/item.
+    cluster_dispatches: int = 0
+    cluster_worker_deaths: int = 0
+    cluster_jobs_requeued: int = 0
+    cluster_serial_fallback_jobs: int = 0
+    cluster_recoveries: int = 0
 
     @property
     def total_transforms(self) -> int:
@@ -176,12 +184,20 @@ class _ResilientProtocolMixin:
         last = getattr(self.backend, "last_stats", None)
         if last is None:
             return
+        cluster = getattr(last, "cluster", None) or {}
         for st in stats:
             st.weight_mults_realized += getattr(
                 last, "weight_mults_realized", 0
             )
             st.weight_mults_dense += getattr(last, "weight_mults_dense", 0)
             st.weight_mults_model += getattr(last, "weight_mults_model", 0)
+            st.cluster_dispatches += int(cluster.get("dispatches", 0))
+            st.cluster_worker_deaths += int(cluster.get("worker_deaths", 0))
+            st.cluster_jobs_requeued += int(cluster.get("jobs_requeued", 0))
+            st.cluster_serial_fallback_jobs += int(
+                cluster.get("serial_fallback_jobs", 0)
+            )
+            st.cluster_recoveries += int(cluster.get("recoveries", 0))
 
 
 class HybridConvProtocol(_ResilientProtocolMixin):

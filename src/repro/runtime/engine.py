@@ -127,6 +127,10 @@ class RuntimeStats:
     weight_mults_model: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cache: Dict[str, float] = field(default_factory=dict)
+    #: supervision counters of the run when it executed on a
+    #: :class:`repro.cluster.ClusterExecutor` (dispatches, worker deaths,
+    #: respawns, requeues, serial fallbacks, ...); empty on in-process runs.
+    cluster: Dict[str, float] = field(default_factory=dict)
 
     def add(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
@@ -179,6 +183,17 @@ class RuntimeStats:
                 f"{self.cache.get('misses', 0)} misses "
                 f"(hit rate {self.cache.get('hit_rate', 0.0):.1%}), "
                 f"{self.cache.get('cached_bytes', 0) / 1024:.1f} KiB held"
+            )
+        if self.cluster:
+            lines.append(
+                "  cluster: "
+                f"{self.cluster.get('workers', 0)} workers, "
+                f"{self.cluster.get('dispatches', 0)} dispatches, "
+                f"{self.cluster.get('recoveries', 0)} recoveries "
+                f"({self.cluster.get('worker_deaths', 0)} deaths, "
+                f"{self.cluster.get('hang_timeouts', 0)} hangs, "
+                f"{self.cluster.get('jobs_requeued', 0)} requeued, "
+                f"{self.cluster.get('serial_fallback_jobs', 0)} serial)"
             )
         return "\n".join(lines)
 
@@ -241,6 +256,11 @@ class BatchedHConvEngine:
             :class:`repro.faults.inject.WorkerFaultInjector` poisoning
             parallel jobs (chaos testing); recovered faults appear in
             ``last_stats.worker_faults``.
+        cluster: optional :class:`repro.cluster.ClusterExecutor`; batched
+            calls shard across its supervised worker processes
+            (bit-identical to the in-process path, crash recovery and
+            serial degradation included) and ``last_stats.cluster``
+            carries the per-call supervision counters.
     """
 
     MODES = ("ntt", "fft", "flash", "sparse")
@@ -252,6 +272,7 @@ class BatchedHConvEngine:
         plan_cache: Optional[PlanCache] = None,
         max_workers: Optional[int] = None,
         fault_injector=None,
+        cluster=None,
     ):
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
@@ -269,6 +290,7 @@ class BatchedHConvEngine:
         )
         self.max_workers = max_workers
         self.fault_injector = fault_injector
+        self.cluster = cluster
         self.last_stats = RuntimeStats(mode=mode)
 
     def _maybe_poison(self, tag) -> None:
@@ -475,11 +497,13 @@ class BatchedHConvEngine:
             ``B x M x out_h x out_w`` int64 outputs, bit-identical to
             running the per-call pipeline on each item.
         """
-        stats = RuntimeStats(mode=self.mode, workers=self._workers())
         xs = np.asarray(xs, dtype=np.int64)
         if xs.ndim == 3:
             xs = xs[None]
         w = np.asarray(w, dtype=np.int64)
+        if self.cluster is not None:
+            return self._conv2d_batch_cluster(xs, w, shape, n)
+        stats = RuntimeStats(mode=self.mode, workers=self._workers())
         batch = xs.shape[0]
         stats.batch = batch
 
@@ -515,6 +539,33 @@ class BatchedHConvEngine:
 
     def _workers(self) -> int:
         return self.max_workers if self.max_workers and self.max_workers > 1 else 1
+
+    def _conv2d_batch_cluster(
+        self, xs: np.ndarray, w: np.ndarray, shape: ConvShape, n: int
+    ) -> np.ndarray:
+        """Shard the batch across the supervised worker processes.
+
+        Each worker runs this same engine code on its contiguous batch
+        shard (items are independent), so the reassembled output is
+        bit-identical to the in-process call; ``last_stats`` sums the
+        worker-side job stats and carries the supervision counters.
+        """
+        out = self.cluster.conv2d_batch(
+            self.mode, self.weight_config, xs, w, shape, n
+        )
+        job_stats = self.cluster.last_job_stats
+        self.last_stats = RuntimeStats(
+            mode=self.mode,
+            batch=xs.shape[0],
+            workers=self.cluster.policy.workers,
+            products=job_stats.get("products", 0),
+            weight_transforms=job_stats.get("weight_transforms", 0),
+            weight_mults_realized=job_stats.get("weight_mults_realized", 0),
+            weight_mults_dense=job_stats.get("weight_mults_dense", 0),
+            weight_mults_model=job_stats.get("weight_mults_model", 0),
+            cluster=dict(self.cluster.last_cluster),
+        )
+        return out
 
     def _run_band(
         self,
@@ -632,6 +683,37 @@ class BatchedHConvEngine:
 # ---------------------------------------------------------------------------
 
 
+def _cluster_multiply_many(backend, kind, pattern, polys, weights_list):
+    """Shared cluster delegation of a backend's ``multiply_many``.
+
+    Serializes the polynomials through the protocol wire format, shards
+    them across the backend's :class:`repro.cluster.ClusterExecutor`, and
+    rebuilds ``last_stats`` from the worker-side job stats plus the
+    per-call supervision counters.
+    """
+    cluster = backend.cluster
+    outs = cluster.multiply_many(
+        kind,
+        getattr(backend, "weight_config", None),
+        pattern,
+        polys,
+        weights_list,
+    )
+    job_stats = cluster.last_job_stats
+    backend.last_stats = RuntimeStats(
+        mode=kind,
+        batch=len(polys),
+        products=job_stats.get("products", 0),
+        workers=cluster.policy.workers,
+        weight_transforms=job_stats.get("weight_transforms", 0),
+        weight_mults_realized=job_stats.get("weight_mults_realized", 0),
+        weight_mults_dense=job_stats.get("weight_mults_dense", 0),
+        weight_mults_model=job_stats.get("weight_mults_model", 0),
+        cluster=dict(cluster.last_cluster),
+    )
+    return outs
+
+
 class BatchedNttBackend(NttPolyMulBackend):
     """Exact NTT backend with a batched ``multiply_many`` entry point.
 
@@ -650,6 +732,7 @@ class BatchedNttBackend(NttPolyMulBackend):
         plan_cache: Optional[PlanCache] = None,
         max_workers: Optional[int] = None,
         fault_injector=None,
+        cluster=None,
     ):
         self.plan_cache = (
             plan_cache if plan_cache is not None
@@ -657,6 +740,7 @@ class BatchedNttBackend(NttPolyMulBackend):
         )
         self.max_workers = max_workers
         self.fault_injector = fault_injector
+        self.cluster = cluster
         self.last_stats = RuntimeStats(mode="ntt")
 
     def _maybe_poison(self, tag) -> None:
@@ -690,6 +774,10 @@ class BatchedNttBackend(NttPolyMulBackend):
             raise ValueError("polys and weights_list must have equal length")
         if not polys:
             return []
+        if self.cluster is not None:
+            return _cluster_multiply_many(
+                self, "ntt", None, polys, weights_list
+            )
         basis = polys[0].basis
         count = len(polys)
         weights_list = [
@@ -752,11 +840,13 @@ class BatchedFftBackend(FftPolyMulBackend):
         weight_config: Optional[ApproxFftConfig] = None,
         max_workers: Optional[int] = None,
         fault_injector=None,
+        cluster=None,
         **kwargs,
     ):
         super().__init__(weight_config=weight_config, **kwargs)
         self.max_workers = max_workers
         self.fault_injector = fault_injector
+        self.cluster = cluster
         self.last_stats = RuntimeStats(mode=self._stats_mode)
 
     def _maybe_poison(self, tag) -> None:
@@ -788,6 +878,11 @@ class BatchedFftBackend(FftPolyMulBackend):
             raise ValueError("polys and weights_list must have equal length")
         if not polys:
             return []
+        if self.cluster is not None:
+            return _cluster_multiply_many(
+                self, self._stats_mode, getattr(self, "pattern", None),
+                polys, weights_list,
+            )
         basis = polys[0].basis
         n, q = basis.n, basis.modulus
         pipe = self.pipeline(n)

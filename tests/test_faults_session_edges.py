@@ -1,0 +1,209 @@
+"""ResilientSession edge behaviour: dead letters, reordering, stalls.
+
+Satellite tier for the cluster PR: the supervisor reuses the session's
+:class:`RetryPolicy` machinery, so the edge semantics it depends on --
+one dead letter per exhausted message, duplicate discard on foreign
+sequence numbers, per-delivery timeouts that never wall-block, seeded
+backoff determinism -- are pinned down here against crafted channels.
+"""
+
+import time
+
+import pytest
+
+from repro.faults import (
+    PerfectChannel,
+    ResilientSession,
+    RetryPolicy,
+    TransportError,
+    encode_frame,
+)
+
+
+class _StalledChannel(PerfectChannel):
+    """Every delivery arrives, but always past any sane timeout."""
+
+    def __init__(self, latency=1e6):
+        self.latency = latency
+        self.frames = 0
+
+    def transmit(self, frame):
+        self.frames += 1
+        return [(self.latency, frame)]
+
+
+class _ReorderChannel(PerfectChannel):
+    """Delivers the *previous* frame ahead of the current one.
+
+    Models a network that reorders in-flight packets: the receiver sees a
+    stale frame (valid CRC, foreign sequence number) before the one it
+    asked for.
+    """
+
+    def __init__(self):
+        self.held = None
+
+    def transmit(self, frame):
+        out = []
+        if self.held is not None:
+            out.append((0.0, self.held))
+        self.held = frame
+        out.append((0.0, frame))
+        return out
+
+
+class _BadMagicOnceChannel(PerfectChannel):
+    """First delivery has a mangled frame header, retry is clean."""
+
+    def __init__(self):
+        self.sent = 0
+
+    def transmit(self, frame):
+        self.sent += 1
+        if self.sent == 1:
+            mangled = bytearray(frame)
+            mangled[0] ^= 0xFF
+            return [(0.0, bytes(mangled))]
+        return [(0.0, frame)]
+
+
+class TestDeadLetterExactlyOnce:
+    def test_one_dead_letter_per_exhausted_message(self):
+        class _BlackHole(PerfectChannel):
+            def transmit(self, frame):
+                return []
+
+        session = ResilientSession(
+            channel=_BlackHole(), policy=RetryPolicy(max_attempts=3)
+        )
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                session.transfer_bytes(b"doomed")
+        assert session.stats.dead_letters == 2
+        assert len(session.stats.dead_letter_log) == 2
+        # Each letter records its own message exactly once.
+        seqs = [letter.seq for letter in session.stats.dead_letter_log]
+        assert len(set(seqs)) == 2
+        assert all(
+            letter.attempts == 3 for letter in session.stats.dead_letter_log
+        )
+        assert session.stats.attempts == 6
+
+    def test_session_survives_a_dead_letter(self):
+        # A dead-lettered message must not poison the session: swap in a
+        # healthy channel and the next transfer goes through first try.
+        session = ResilientSession(
+            channel=_StalledChannel(), policy=RetryPolicy(max_attempts=2)
+        )
+        with pytest.raises(TransportError):
+            session.transfer_bytes(b"first")
+        session.channel = PerfectChannel()
+        assert session.transfer_bytes(b"second") == b"second"
+        assert session.stats.dead_letters == 1
+
+
+class TestReorderedDelivery:
+    def test_stale_frame_discarded_fresh_frame_accepted(self):
+        session = ResilientSession(channel=_ReorderChannel())
+        assert session.transfer_bytes(b"alpha") == b"alpha"
+        # Second transfer sees the held copy of "alpha" (seq 0) before its
+        # own frame (seq 1): the foreign seq is discarded, not returned.
+        assert session.transfer_bytes(b"beta") == b"beta"
+        assert session.transfer_bytes(b"gamma") == b"gamma"
+        assert session.stats.duplicates_discarded == 2
+        assert session.stats.retries == 0
+        assert session.stats.messages == 3
+
+    def test_duplicate_of_own_frame_after_acceptance_discarded(self):
+        class _EchoTwice(PerfectChannel):
+            def transmit(self, frame):
+                return [(0.0, frame), (0.0, frame)]
+
+        session = ResilientSession(channel=_EchoTwice())
+        assert session.transfer_bytes(b"payload") == b"payload"
+        assert session.stats.duplicates_discarded == 1
+
+    def test_only_foreign_seq_never_satisfies_transfer(self):
+        class _AlwaysStale(PerfectChannel):
+            def transmit(self, frame):
+                return [(0.0, encode_frame(0x7FFFFFFF, b"stale"))]
+
+        session = ResilientSession(
+            channel=_AlwaysStale(), policy=RetryPolicy(max_attempts=2)
+        )
+        with pytest.raises(TransportError):
+            session.transfer_bytes(b"wanted")
+        assert session.stats.duplicates_discarded == 2
+        assert session.stats.dead_letters == 1
+
+
+class TestStalledChannelTimeouts:
+    def test_per_delivery_timeout_fires_without_wall_blocking(self):
+        # Latency is virtual: a delivery "takes" 11 days, the test must
+        # still return instantly with every attempt counted as a timeout.
+        channel = _StalledChannel()
+        session = ResilientSession(
+            channel=channel,
+            policy=RetryPolicy(max_attempts=5, timeout=0.25),
+        )
+        started = time.monotonic()
+        with pytest.raises(TransportError, match="undeliverable"):
+            session.transfer_bytes(b"x" * 4096)
+        assert time.monotonic() - started < 2.0
+        assert channel.frames == 5
+        assert session.stats.timeouts == 5
+        assert session.stats.backoff_seconds > 0.0
+
+    def test_delivery_exactly_at_timeout_is_accepted(self):
+        session = ResilientSession(
+            channel=_StalledChannel(latency=0.25),
+            policy=RetryPolicy(timeout=0.25),
+        )
+        assert session.transfer_bytes(b"edge") == b"edge"
+        assert session.stats.timeouts == 0
+
+    def test_undecodable_frame_counted_and_retried(self):
+        session = ResilientSession(channel=_BadMagicOnceChannel())
+        assert session.transfer_bytes(b"data") == b"data"
+        assert session.stats.decode_failures == 1
+        assert session.stats.retries == 1
+
+
+class TestBackoffDeterminism:
+    def test_backoff_deterministic_under_seed(self):
+        class _FailN(PerfectChannel):
+            def __init__(self, n):
+                self.n = n
+
+            def transmit(self, frame):
+                if self.n > 0:
+                    self.n -= 1
+                    return []
+                return [(0.0, frame)]
+
+        totals = []
+        for _ in range(2):
+            session = ResilientSession(channel=_FailN(6), seed=123)
+            session.transfer_bytes(b"retry me")
+            totals.append(session.stats.backoff_seconds)
+        assert totals[0] == totals[1] > 0.0
+
+    def test_backoff_doubles_and_caps_without_jitter(self):
+        import random
+
+        policy = RetryPolicy(
+            max_attempts=12, base_delay=0.01, max_delay=0.05, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.backoff(attempt, rng) for attempt in range(1, 6)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_jitter_bounded_by_policy(self):
+        import random
+
+        policy = RetryPolicy(base_delay=0.01, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(1, 8):
+            base = min(policy.max_delay, 0.01 * 2 ** (attempt - 1))
+            delay = policy.backoff(attempt, rng)
+            assert base <= delay <= base * 1.5
