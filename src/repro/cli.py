@@ -12,6 +12,8 @@ Usage::
     python -m repro bench-check --baseline b.json --current c.json
     python -m repro lint src/repro        # domain-aware static analysis
     python -m repro chaos --seed 0        # randomized fault campaign
+    python -m repro serve --duration 5    # multi-tenant inference front end
+    python -m repro loadgen --json BENCH_serve.json   # load + verdict
 """
 
 from __future__ import annotations
@@ -20,6 +22,22 @@ import argparse
 import os
 import sys
 from typing import List, Optional
+
+# Exit-code convention, shared by every subcommand:
+#   0 -- success / all gates passed
+#   1 -- the command ran but its gate or verdict failed (regression,
+#        failed campaign, lint findings, loadgen verdict FAIL)
+#   2 -- usage error (bad flag combination, unreadable input, invalid
+#        parameter value); argparse's own errors also exit 2
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_USAGE = 2
+
+
+def usage_error(command: str, message: str) -> int:
+    """Report a usage problem on stderr; returns :data:`EXIT_USAGE`."""
+    print(f"{command}: {message}", file=sys.stderr)
+    return EXIT_USAGE
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -230,6 +248,16 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
     from repro.fftcore.fixed_point import ApproxFftConfig
     from repro.runtime import BatchedHConvEngine
 
+    for name in ("batch", "n", "channels", "out_channels", "size", "kernel"):
+        if getattr(args, name) < 1:
+            return usage_error(
+                "bench-runtime", f"--{name.replace('_', '-')} must be >= 1"
+            )
+    if args.workers < 0 or args.cluster_workers < 0:
+        return usage_error(
+            "bench-runtime", "--workers/--cluster-workers must be >= 0"
+        )
+
     rng = np.random.default_rng(args.seed)
     shape = ConvShape.square(
         args.channels, args.size, args.out_channels, args.kernel,
@@ -368,15 +396,17 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         with open(args.current, "r", encoding="utf-8") as handle:
             current = json.load(handle)
     except (OSError, ValueError) as exc:
-        print(f"bench-check: {exc}", file=sys.stderr)
-        return 2
+        return usage_error("bench-check", str(exc))
 
     if baseline.get("params") != current.get("params"):
         print("bench-check: params mismatch between baseline and current:",
               file=sys.stderr)
         print(f"  baseline: {baseline.get('params')}", file=sys.stderr)
         print(f"  current:  {current.get('params')}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+
+    if "serve" in baseline or "serve" in current:
+        return _bench_check_serve(args, baseline, current)
 
     gates = baseline.get("gates", {})
     speedup_floors = dict(gates.get("min_speedup", {}))
@@ -388,12 +418,10 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         try:
             speedup_floors[mode_name] = float(value)
         except ValueError:
-            print(
-                f"bench-check: bad --min-speedup {spec!r} "
-                "(expected X or MODE=X)",
-                file=sys.stderr,
+            return usage_error(
+                "bench-check",
+                f"bad --min-speedup {spec!r} (expected X or MODE=X)",
             )
-            return 2
 
     failures = []
 
@@ -475,9 +503,82 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         print(f"\nbench-check: {len(failures)} regression(s):")
         for failure in failures:
             print(f"  - {failure}")
-        return 1
+        return EXIT_FAIL
     print("\nbench-check: all metrics within thresholds")
-    return 0
+    return EXIT_OK
+
+
+def _bench_check_serve(
+    args: argparse.Namespace, baseline: dict, current: dict
+) -> int:
+    """Gate a ``loadgen --json`` serve trajectory against a baseline.
+
+    The baseline's ``gates`` section sets absolute ceilings --
+    ``max_p50_ms`` / ``max_p99_ms`` (latency SLO), ``max_shed_rate``
+    (admission headroom on a clean run) and ``max_breaker_trips``
+    (a clean run must not trip the breaker) -- and the current run's own
+    verdict (zero silent drops, bit-identical replay) must hold.
+    """
+    if "serve" not in current:
+        return usage_error(
+            "bench-check",
+            "baseline is a serve trajectory but current is not",
+        )
+    gates = baseline.get("gates", {})
+    serve = current.get("serve", {})
+    verdict = current.get("verdict", {})
+    failures = []
+
+    def check(label: str, ok: bool, detail: str) -> None:
+        status = "ok  " if ok else "FAIL"
+        print(f"  [{status}] serve/{label}: {detail}")
+        if not ok:
+            failures.append(f"serve/{label}: {detail}")
+
+    check(
+        "verdict", bool(verdict.get("ok")),
+        f"loadgen verdict ok={verdict.get('ok')}",
+    )
+    check(
+        "silent_drops", verdict.get("silent_drops", 1) == 0,
+        f"{verdict.get('silent_drops')} unaccounted requests",
+    )
+    check(
+        "replay", verdict.get("replay_mismatches", 1) == 0,
+        f"{verdict.get('replay_mismatches')} mismatches over "
+        f"{verdict.get('replay_checked')} replayed results",
+    )
+    for gate, key, unit in (
+        ("max_p50_ms", "p50_ms", "ms"),
+        ("max_p99_ms", "p99_ms", "ms"),
+    ):
+        ceiling = gates.get(gate)
+        if ceiling is not None:
+            value = serve.get(key, float("inf"))
+            check(
+                key, value <= ceiling,
+                f"{value:.1f} {unit} (ceiling {ceiling:.1f} {unit})",
+            )
+    if gates.get("max_shed_rate") is not None:
+        rate = verdict.get("shed_rate", 1.0)
+        check(
+            "shed_rate", rate <= gates["max_shed_rate"],
+            f"{rate:.3f} (ceiling {gates['max_shed_rate']:.3f})",
+        )
+    if gates.get("max_breaker_trips") is not None:
+        trips = verdict.get("breaker_trips", 0)
+        check(
+            "breaker_trips", trips <= gates["max_breaker_trips"],
+            f"{trips} trips (ceiling {gates['max_breaker_trips']})",
+        )
+
+    if failures:
+        print(f"\nbench-check: {len(failures)} serve regression(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return EXIT_FAIL
+    print("\nbench-check: serve metrics within thresholds")
+    return EXIT_OK
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -494,8 +595,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             cluster_workers=args.cluster_workers,
         )
     except ValueError as exc:
-        print(f"chaos: {exc}", file=sys.stderr)
-        return 2
+        return usage_error("chaos", str(exc))
     print(report.describe())
     if args.json:
         import json
@@ -504,7 +604,130 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
-    return 0 if report.survived else 1
+    return EXIT_OK if report.survived else EXIT_FAIL
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the inference front end in the foreground for ``--duration``.
+
+    Without a network transport the server is in-process: this command
+    stands it up (optionally over a supervised worker cluster), polls its
+    own health/readiness probes on the serve wire, and exits cleanly --
+    the smoke-testable shape of the long-running service.  Drive traffic
+    into a server with ``python -m repro loadgen``.
+    """
+    import json
+    import time as _time
+
+    from repro.serve import InferenceServer, ServeConfig
+    from repro.serve.messages import decode_reply, ping_request
+
+    if args.duration <= 0:
+        return usage_error("serve", "--duration must be > 0 seconds")
+    if args.cluster_workers < 0:
+        return usage_error("serve", "--cluster-workers must be >= 0")
+    try:
+        config = ServeConfig(
+            slo_ms=args.slo_ms,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            tenant_queue_limit=args.tenant_queue_limit,
+            server_queue_limit=args.server_queue_limit,
+            breaker_failures=args.breaker_failures,
+            breaker_recovery_s=args.breaker_recovery_s,
+        )
+    except ValueError as exc:
+        return usage_error("serve", str(exc))
+
+    executor = None
+    if args.cluster_workers:
+        from repro.cluster import make_executor
+
+        executor = make_executor(workers=args.cluster_workers)
+    server = InferenceServer(config, cluster=executor)
+    print(
+        f"serve: up (slo {config.slo_ms:.0f} ms, "
+        f"tenant rate {config.tenant_rate:.0f}/s, "
+        + (f"cluster {args.cluster_workers} workers)" if executor
+           else "serial execution)")
+    )
+    deadline = _time.monotonic() + args.duration
+    probe_id = 0
+    try:
+        while _time.monotonic() < deadline:
+            probe_id += 1
+            _, _, body = decode_reply(
+                server.submit(ping_request(probe_id))
+            )
+            health = body["health"]
+            print(
+                f"  health: {health['status']} ready={health['ready']} "
+                f"breaker={health['breaker']} depth={health['depth']} "
+                f"p50={health['p50_ms']:.1f}ms p99={health['p99_ms']:.1f}ms"
+            )
+            _time.sleep(min(args.probe_interval, args.duration))
+    finally:
+        server.close()
+        if executor is not None:
+            executor.close()
+    stats = server.stats_dict()
+    print(server.stats.describe())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    unaccounted = stats["accounting"]["unaccounted"]
+    if unaccounted != 0:
+        print(
+            f"serve: {unaccounted} unaccounted request(s) at shutdown",
+            file=sys.stderr,
+        )
+        return EXIT_FAIL
+    return EXIT_OK
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Closed-loop load generation + no-silent-drop verdict (see
+    :mod:`repro.serve.loadgen`); exits 1 when the verdict fails."""
+    import json
+
+    from repro.serve import LoadgenConfig, run_loadgen
+
+    try:
+        config = LoadgenConfig(
+            seed=args.seed,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            tenants=args.tenants,
+            mode=args.mode,
+            n=args.n,
+            channels=args.channels,
+            size=args.size,
+            out_channels=args.out_channels,
+            kernel=args.kernel,
+            slo_ms=args.slo_ms,
+            think_ms=args.think_ms,
+            duration_s=args.duration or None,
+            flood_clients=args.flood_clients,
+            slow_client_rate=args.slow_rate,
+            chaos_kill_rate=args.chaos_kill_rate,
+            cluster_workers=args.cluster_workers,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            breaker_failures=args.breaker_failures,
+            breaker_recovery_s=args.breaker_recovery_s,
+        )
+    except ValueError as exc:
+        return usage_error("loadgen", str(exc))
+
+    report = run_loadgen(config, progress=print)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return EXIT_OK if report["verdict"]["ok"] else EXIT_FAIL
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -536,13 +759,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     if args.concurrency and args.select:
-        print(
-            "repro lint: --concurrency and --select are mutually exclusive "
+        return usage_error(
+            "repro lint",
+            "--concurrency and --select are mutually exclusive "
             "(--concurrency is shorthand for selecting the RACE/LOCK/DET "
             "rules)",
-            file=sys.stderr,
         )
-        return 2
 
     rules = None
     if args.concurrency:
@@ -551,22 +773,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         try:
             rules = [get_rule(rid) for rid in args.select.split(",") if rid]
         except KeyError as exc:
-            print(f"repro lint: {exc.args[0]}", file=sys.stderr)
-            return 2
+            return usage_error("repro lint", str(exc.args[0]))
 
     missing = [p for p in args.paths if not os.path.exists(p)]
     if missing:
-        for p in missing:
+        for p in missing[:-1]:
             print(f"repro lint: no such path: {p}", file=sys.stderr)
-        return 2
+        return usage_error("repro lint", f"no such path: {missing[-1]}")
     result = lint_paths(args.paths, rules=rules)
     if result.files_checked == 0:
-        print(
-            "repro lint: no Python files found under: "
-            + " ".join(args.paths),
-            file=sys.stderr,
+        return usage_error(
+            "repro lint",
+            "no Python files found under: " + " ".join(args.paths),
         )
-        return 2
 
     bitwidth_reports = {}
     if not args.no_bitwidth and not args.concurrency:
@@ -592,7 +811,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             ]
             summary = "\n".join(lines)
         print(render_text(result, bitwidth_summary=summary))
-    return 0 if result.ok else 1
+    return EXIT_OK if result.ok else EXIT_FAIL
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -711,6 +930,66 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the campaign report as JSON")
 
     p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant inference front end in the foreground",
+    )
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="seconds to stay up (health-probing itself)")
+    p.add_argument("--probe-interval", type=float, default=0.5,
+                   help="seconds between self health probes")
+    p.add_argument("--slo-ms", type=float, default=500.0)
+    p.add_argument("--tenant-rate", type=float, default=200.0,
+                   help="per-tenant token-bucket rate (requests/s)")
+    p.add_argument("--tenant-burst", type=int, default=16)
+    p.add_argument("--tenant-queue-limit", type=int, default=32)
+    p.add_argument("--server-queue-limit", type=int, default=128)
+    p.add_argument("--breaker-failures", type=int, default=3,
+                   help="consecutive cluster failures that trip the breaker")
+    p.add_argument("--breaker-recovery-s", type=float, default=0.25)
+    p.add_argument("--cluster-workers", type=int, default=0,
+                   help="execute batches on N supervised worker processes")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="write the final ServeStats snapshot as JSON")
+
+    p = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generation with a no-silent-drop verdict",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--clients", type=int, default=4,
+                   help="closed-loop polite clients")
+    p.add_argument("--requests", type=int, default=25,
+                   help="requests per client")
+    p.add_argument("--tenants", type=int, default=2)
+    p.add_argument("--mode", choices=["ntt", "fft", "flash", "sparse"],
+                   default="sparse")
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument("--channels", type=int, default=1)
+    p.add_argument("--out-channels", type=int, default=1)
+    p.add_argument("--size", type=int, default=4)
+    p.add_argument("--kernel", type=int, default=3)
+    p.add_argument("--slo-ms", type=float, default=500.0)
+    p.add_argument("--think-ms", type=float, default=2.0,
+                   help="mean exponential think time of polite clients")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="wall-clock cap in seconds (0 = run to completion)")
+    p.add_argument("--flood-clients", type=int, default=0,
+                   help="chaos: zero-think clients flooding one tenant")
+    p.add_argument("--slow-rate", type=float, default=0.0,
+                   help="chaos: fraction of requests whose deadline is "
+                        "mostly spent client-side before submission")
+    p.add_argument("--chaos-kill-rate", type=float, default=0.0,
+                   help="chaos: worker SIGKILL probability per dispatched "
+                        "job (needs --cluster-workers)")
+    p.add_argument("--cluster-workers", type=int, default=0)
+    p.add_argument("--tenant-rate", type=float, default=200.0)
+    p.add_argument("--tenant-burst", type=int, default=16)
+    p.add_argument("--breaker-failures", type=int, default=2)
+    p.add_argument("--breaker-recovery-s", type=float, default=0.2)
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="write the BENCH_serve.json report")
+
+    p = sub.add_parser(
         "lint", help="domain-aware static analysis (MOD/DTYPE/HYG/BW rules)"
     )
     p.add_argument(
@@ -756,6 +1035,8 @@ _COMMANDS = {
     "bench-runtime": _cmd_bench_runtime,
     "bench-check": _cmd_bench_check,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "lint": _cmd_lint,
 }
 

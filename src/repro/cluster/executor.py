@@ -108,6 +108,22 @@ class ClusterExecutor:
 
     # -- sharded entry points --------------------------------------------
 
+    @staticmethod
+    def _stamp_deadline(
+        payloads: List[Dict[str, Any]], deadline_s: Optional[float]
+    ) -> List[Dict[str, Any]]:
+        """Attach the request SLO budget to every job envelope.
+
+        The supervisor arms each dispatched job's hang deadline with
+        ``min(heartbeat_timeout, deadline_ms)``; workers strip the key
+        before execution, so results stay byte-identical with or without
+        a deadline.
+        """
+        if deadline_s is not None:
+            for payload in payloads:
+                payload["deadline_ms"] = max(1.0, float(deadline_s) * 1e3)
+        return payloads
+
     def conv2d_batch(
         self,
         mode: str,
@@ -116,6 +132,7 @@ class ClusterExecutor:
         w: np.ndarray,
         shape,
         n: int,
+        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """Batched clear-domain convolution, sharded along the batch axis.
 
@@ -123,12 +140,20 @@ class ClusterExecutor:
         :meth:`repro.runtime.engine.BatchedHConvEngine.conv2d_batch` call:
         batch items are independent, and the exact NTT path yields the
         same residues for any admissible per-shard modulus choice.
+
+        Args:
+            deadline_s: optional remaining request budget; propagated as
+                a per-job ``deadline_ms`` so the supervisor declares
+                hung workers within the request SLO.
         """
         xs = np.ascontiguousarray(xs, dtype=np.int64)
-        payloads = [
-            conv_job_payload(mode, weight_config, n, shape, xs[lo:hi], w)
-            for lo, hi in _split_indices(len(xs), self.policy.workers)
-        ]
+        payloads = self._stamp_deadline(
+            [
+                conv_job_payload(mode, weight_config, n, shape, xs[lo:hi], w)
+                for lo, hi in _split_indices(len(xs), self.policy.workers)
+            ],
+            deadline_s,
+        )
         replies = self._run(MSG_JOB_CONV, payloads)
         return np.concatenate([reply["out"] for reply in replies])
 
@@ -139,6 +164,7 @@ class ClusterExecutor:
         pattern,
         polys: List,
         weights_list: List[np.ndarray],
+        deadline_s: Optional[float] = None,
     ) -> List:
         """Sharded plaintext products over serialized ring polynomials.
 
@@ -156,20 +182,52 @@ class ClusterExecutor:
             return []
         basis = polys[0].basis
         blobs = [serialize_poly(p) for p in polys]
-        payloads = [
-            mul_job_payload(
-                backend, weight_config, pattern, basis,
-                blobs[lo:hi], weights_list[lo:hi],
-            )
-            for lo, hi in _split_indices(len(polys), self.policy.workers)
-        ]
-        replies = self._run(MSG_JOB_MUL, payloads)
+        out_blobs = self.multiply_many_blobs(
+            backend, weight_config, pattern, basis, blobs, weights_list,
+            deadline_s=deadline_s,
+        )
         params = WireBasisParams(basis)
         outs = []
+        for blob in out_blobs:
+            poly, _ = deserialize_poly(blob, params)
+            outs.append(poly)
+        return outs
+
+    def multiply_many_blobs(
+        self,
+        backend: str,
+        weight_config,
+        pattern,
+        basis,
+        blobs: List[bytes],
+        weights_list: List[np.ndarray],
+        deadline_s: Optional[float] = None,
+    ) -> List[bytes]:
+        """:meth:`multiply_many` over already-serialized polynomials.
+
+        The serving layer receives polynomials as wire blobs and returns
+        them as wire blobs; this entry point avoids a pointless
+        deserialize/re-serialize round-trip at the coalescer.  Outputs
+        are the workers' serialized result polynomials, in input order.
+        """
+        if len(blobs) != len(weights_list):
+            raise ValueError("blobs and weights_list must have equal length")
+        if not blobs:
+            return []
+        payloads = self._stamp_deadline(
+            [
+                mul_job_payload(
+                    backend, weight_config, pattern, basis,
+                    blobs[lo:hi], weights_list[lo:hi],
+                )
+                for lo, hi in _split_indices(len(blobs), self.policy.workers)
+            ],
+            deadline_s,
+        )
+        replies = self._run(MSG_JOB_MUL, payloads)
+        outs: List[bytes] = []
         for reply in replies:
-            for blob in reply["polys"]:
-                poly, _ = deserialize_poly(blob, params)
-                outs.append(poly)
+            outs.extend(reply["polys"])
         return outs
 
 

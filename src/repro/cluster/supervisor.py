@@ -650,9 +650,19 @@ class ClusterSupervisor:
                 self.stats.dispatches += 1
                 handle.busy_job = index
                 handle.busy_id = job_id
-                handle.deadline = (
-                    time.monotonic() + self.policy.heartbeat_timeout
-                )
+                # Per-job deadline: a job carrying a request SLO budget
+                # ("deadline_ms", set by the serving layer) arms a tighter
+                # hang deadline than the pool-wide heartbeat, so a stuck
+                # worker is declared hung within the request's budget
+                # instead of the generic supervisor timeout.  Each retry
+                # gets the same relative budget.
+                budget = self.policy.heartbeat_timeout
+                deadline_ms = payload.get("deadline_ms")
+                if deadline_ms is not None:
+                    budget = min(
+                        budget, max(0.001, float(deadline_ms) / 1e3)
+                    )
+                handle.deadline = time.monotonic() + budget
 
             busy = [w for w in self._pool if not w.idle]
             if not busy:

@@ -267,12 +267,15 @@ def worker_main(conn, slot: int, incarnation: int) -> None:
             }))
             continue
 
-        # Injected-fault decorations (chaos campaigns / recovery tests).
+        # Injected-fault decorations (chaos campaigns / recovery tests)
+        # and supervisor-side scheduling metadata: all are envelope-level
+        # keys the execution code must never see.
         hang_s = 0.0
         duplicate = False
         if isinstance(payload, dict):
             hang_s = float(payload.pop("_inject_hang_s", 0.0))
             duplicate = bool(payload.pop("_inject_duplicate", False))
+            payload.pop("deadline_ms", None)  # armed supervisor-side
         if hang_s > 0.0:
             time.sleep(hang_s)  # simulated hang: the supervisor's deadline fires
 

@@ -32,7 +32,12 @@ from repro.lint.locks import ClassModel, build_module_model, job_function_nodes
 from repro.lint.rules import Rule, RuleContext, register_rule
 
 #: Packages whose code runs on (or hands work to) worker threads.
-CONCURRENCY_SCOPES = ("repro.runtime", "repro.faults", "repro.protocol")
+CONCURRENCY_SCOPES = (
+    "repro.runtime",
+    "repro.faults",
+    "repro.protocol",
+    "repro.serve",
+)
 
 #: Rule IDs that `python -m repro lint --concurrency` selects.
 CONCURRENCY_RULE_IDS = ("RACE001", "RACE002", "LOCK001", "DET001")

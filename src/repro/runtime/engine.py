@@ -483,7 +483,12 @@ class BatchedHConvEngine:
     # -- batched convolution --------------------------------------------
 
     def conv2d_batch(
-        self, xs: np.ndarray, w: np.ndarray, shape: ConvShape, n: int
+        self,
+        xs: np.ndarray,
+        w: np.ndarray,
+        shape: ConvShape,
+        n: int,
+        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """Batched ``conv2d`` through the coefficient encoding.
 
@@ -492,6 +497,10 @@ class BatchedHConvEngine:
             w: ``M x C x kh x kw`` integer kernel (shared across the batch).
             shape: convolution geometry of one batch item.
             n: polynomial degree.
+            deadline_s: optional remaining request-SLO budget; on the
+                cluster path it becomes each job's ``deadline_ms`` hang
+                deadline, on the in-process path it is ignored (the call
+                is already synchronous and uninterruptible).
 
         Returns:
             ``B x M x out_h x out_w`` int64 outputs, bit-identical to
@@ -502,7 +511,9 @@ class BatchedHConvEngine:
             xs = xs[None]
         w = np.asarray(w, dtype=np.int64)
         if self.cluster is not None:
-            return self._conv2d_batch_cluster(xs, w, shape, n)
+            return self._conv2d_batch_cluster(
+                xs, w, shape, n, deadline_s=deadline_s
+            )
         stats = RuntimeStats(mode=self.mode, workers=self._workers())
         batch = xs.shape[0]
         stats.batch = batch
@@ -541,7 +552,12 @@ class BatchedHConvEngine:
         return self.max_workers if self.max_workers and self.max_workers > 1 else 1
 
     def _conv2d_batch_cluster(
-        self, xs: np.ndarray, w: np.ndarray, shape: ConvShape, n: int
+        self,
+        xs: np.ndarray,
+        w: np.ndarray,
+        shape: ConvShape,
+        n: int,
+        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """Shard the batch across the supervised worker processes.
 
@@ -551,7 +567,8 @@ class BatchedHConvEngine:
         worker-side job stats and carries the supervision counters.
         """
         out = self.cluster.conv2d_batch(
-            self.mode, self.weight_config, xs, w, shape, n
+            self.mode, self.weight_config, xs, w, shape, n,
+            deadline_s=deadline_s,
         )
         job_stats = self.cluster.last_job_stats
         self.last_stats = RuntimeStats(

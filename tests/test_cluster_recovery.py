@@ -260,3 +260,50 @@ class TestAccounting:
         xs, w = conv_inputs(batch=1)
         with pytest.raises(ClusterError, match="closed"):
             ex.conv2d_batch("ntt", None, xs, w, SHAPE, N)
+
+
+class TestPerJobDeadline:
+    """Per-job ``deadline_ms`` arms a tighter hang deadline than the pool
+    heartbeat, so a stuck worker is declared within the request SLO."""
+
+    def test_hang_declared_within_deadline_not_heartbeat(self):
+        import time
+
+        xs, w = conv_inputs()
+        # A 30s heartbeat alone would leave the hung worker undetected
+        # for half a minute; the 0.5s request budget must win.
+        policy = ClusterPolicy(workers=2, heartbeat_timeout=30.0)
+        injector = ClusterFaultInjector(hang_jobs=[0])
+        with ClusterExecutor(policy=policy, fault_injector=injector) as ex:
+            start = time.monotonic()
+            got = ex.conv2d_batch(
+                "ntt", None, xs, w, SHAPE, N, deadline_s=0.5
+            )
+            elapsed = time.monotonic() - start
+            stats = ex.stats
+        assert np.array_equal(got, serial_reference(xs, w))
+        assert stats.hang_timeouts >= 1
+        assert stats.jobs_requeued >= 1
+        assert elapsed < 10.0  # far below the 30s heartbeat
+
+    def test_deadline_run_bit_identical_to_undeadlined(self):
+        xs, w = conv_inputs(seed=5)
+        policy = ClusterPolicy(workers=2, heartbeat_timeout=30.0)
+        with ClusterExecutor(policy=policy) as ex:
+            timed = ex.conv2d_batch(
+                "ntt", None, xs, w, SHAPE, N, deadline_s=5.0
+            )
+        with ClusterExecutor(policy=policy) as ex:
+            untimed = ex.conv2d_batch("ntt", None, xs, w, SHAPE, N)
+        assert np.array_equal(timed, untimed)
+
+    def test_stamp_floors_and_skips(self):
+        payloads = [{"mode": "ntt"}, {"mode": "ntt"}]
+        ClusterExecutor._stamp_deadline(payloads, 0.25)
+        assert all(p["deadline_ms"] == 250.0 for p in payloads)
+        # Sub-millisecond budgets floor at 1ms so jobs are never armed
+        # with a zero or negative deadline.
+        floored = ClusterExecutor._stamp_deadline([{}], 1e-6)
+        assert floored[0]["deadline_ms"] == 1.0
+        # No deadline, no key: the envelope stays byte-identical.
+        assert "deadline_ms" not in ClusterExecutor._stamp_deadline([{}], None)[0]

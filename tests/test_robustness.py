@@ -270,3 +270,114 @@ class TestNoiseBudgetGuard:
 
         with pytest.raises(ValueError, match="policy"):
             BudgetGuard(toy_preset(n=64), policy="panic")
+
+
+class TestNoiseBudgetGuardSparseBatched:
+    """The guard on the batched sparse hot path (SparseBatchedFftBackend).
+
+    PR 7 compiled sparse plans into ``multiply_many``; these tests close
+    the loop with :class:`TestNoiseBudgetGuard` by proving both guard
+    policies behave identically when the protocol's batched path runs the
+    sparse backend instead of the per-call FFT backend.
+    """
+
+    SHAPE = TestNoiseBudgetGuard.SHAPE
+
+    def _batch_inputs(self, seed=0, batch=3):
+        rng = np.random.default_rng(seed)
+        xs = rng.integers(-3, 4, size=(batch, 1, 4, 4))
+        w = rng.integers(-2, 3, size=(1, 1, 3, 3))
+        return xs, w
+
+    def _bad_sparse_backend(self):
+        from repro.fftcore.fixed_point import ApproxFftConfig
+        from repro.runtime import SparseBatchedFftBackend
+
+        # Same aggressive fixed-point budget as the dense observed-error
+        # trigger, but executed through compiled sparse plans.
+        cfg = ApproxFftConfig(
+            n=32, stage_widths=12, twiddle_k=2, twiddle_max_shift=8
+        )
+        return SparseBatchedFftBackend(weight_config=cfg)
+
+    def _good_sparse_backend(self):
+        from repro.fftcore.fixed_point import ApproxFftConfig
+        from repro.runtime import SparseBatchedFftBackend
+
+        cfg = ApproxFftConfig(
+            n=32, stage_widths=27, twiddle_k=18, twiddle_max_shift=24
+        )
+        return SparseBatchedFftBackend(weight_config=cfg)
+
+    def test_predicted_trigger_degrades_sparse_batch_bit_exact(self):
+        from repro.faults import BudgetGuard
+        from repro.he import BfvParameters
+        from repro.he.noise import conv_budget_margin_bits
+
+        params = BfvParameters(n=64, plain_modulus=1 << 18, q_bits=(30,))
+        xs, w = self._batch_inputs()
+        assert conv_budget_margin_bits(params, w, 1) < 1.0
+
+        guard = BudgetGuard(params, policy="fallback")
+        rng_seed = 42
+        guarded = HybridConvProtocol(
+            params, self.SHAPE, backend=self._good_sparse_backend(),
+            guard=guard, layer_name="conv0",
+        ).run_batch(xs, w, np.random.default_rng(rng_seed))
+        exact = HybridConvProtocol(params, self.SHAPE).run_batch(
+            xs, w, np.random.default_rng(rng_seed)
+        )
+        assert all(r.stats.degraded for r in guarded)
+        assert guard.events[0].reason == "predicted"
+        assert guard.degraded_layers == ["conv0"]
+        # Bit-exact vs the exact-NTT protocol under the same randomness.
+        for g, e in zip(guarded, exact):
+            assert np.array_equal(g.reconstructed, e.reconstructed)
+            assert np.array_equal(g.client_share, e.client_share)
+
+    def test_observed_trigger_degrades_whole_sparse_batch(self):
+        from repro.faults import BudgetGuard
+        from repro.he import toy_preset as preset
+
+        params = preset(n=64)
+        xs, w = self._batch_inputs(1)
+        guard = BudgetGuard(params, policy="fallback")
+        results = HybridConvProtocol(
+            params, self.SHAPE, backend=self._bad_sparse_backend(),
+            guard=guard,
+        ).run_batch(xs, w, np.random.default_rng(1))
+        assert all(r.exact and r.stats.degraded for r in results)
+        assert guard.events[0].reason == "observed"
+        assert guard.events[0].observed_error > 0
+        assert len(guard.events) == 1  # one degradation covers the batch
+
+    def test_warn_policy_keeps_approximate_sparse_batch(self):
+        from repro.faults import BudgetGuard
+        from repro.he import toy_preset as preset
+
+        params = preset(n=64)
+        xs, w = self._batch_inputs(2)
+        guard = BudgetGuard(params, policy="warn")
+        with pytest.warns(RuntimeWarning, match="observed"):
+            results = HybridConvProtocol(
+                params, self.SHAPE, backend=self._bad_sparse_backend(),
+                guard=guard,
+            ).run_batch(xs, w, np.random.default_rng(2))
+        # The approximate sparse output is kept, degradation only logged.
+        assert not any(r.stats.degraded for r in results)
+        assert max(r.max_error for r in results) > 0
+        assert guard.events[0].action == "warn"
+
+    def test_good_sparse_config_passes_clean(self):
+        from repro.faults import BudgetGuard
+        from repro.he import toy_preset as preset
+
+        params = preset(n=64)
+        xs, w = self._batch_inputs(3)
+        guard = BudgetGuard(params, policy="raise")
+        results = HybridConvProtocol(
+            params, self.SHAPE, backend=self._good_sparse_backend(),
+            guard=guard,
+        ).run_batch(xs, w, np.random.default_rng(3))
+        assert guard.events == []  # a healthy sparse batch never triggers
+        assert all(r.exact for r in results)

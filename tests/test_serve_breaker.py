@@ -1,0 +1,158 @@
+"""Circuit-breaker state machine, driven by a fake clock.
+
+The breaker guards the cluster executor: repeated failure signals must
+route traffic to the serial fallback (open), a probe must be admitted
+after the recovery timeout (half-open), and exactly one probe decides
+whether the breaker closes again.
+"""
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = float(t)
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += float(dt)
+
+
+def breaker(**kwargs):
+    clock = kwargs.pop("clock", FakeClock())
+    defaults = dict(failure_threshold=3, recovery_timeout=1.0)
+    defaults.update(kwargs)
+    return CircuitBreaker(clock=clock, **defaults), clock
+
+
+class TestTrip:
+    def test_closed_allows_traffic(self):
+        b, _ = breaker()
+        assert b.state() == CLOSED
+        assert b.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        b, _ = breaker(failure_threshold=3)
+        b.record_failure("boom")
+        b.record_failure("boom")
+        assert b.state() == CLOSED
+        b.record_failure("boom")
+        assert b.state() == OPEN
+        assert not b.allow()
+
+    def test_success_resets_the_failure_count(self):
+        b, _ = breaker(failure_threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state() == CLOSED  # never two *consecutive* failures
+
+    def test_trip_reason_recorded_in_transitions(self):
+        b, _ = breaker(failure_threshold=1)
+        b.record_failure("worker churn")
+        (t,) = b.transitions
+        assert (t["from"], t["to"]) == (CLOSED, OPEN)
+        assert "worker churn" in t["reason"]
+
+    def test_fallback_failures_do_not_rearm_the_open_clock(self):
+        b, clock = breaker(failure_threshold=1, recovery_timeout=1.0)
+        b.record_failure()
+        clock.advance(0.9)
+        b.record_failure("serial path hiccup")  # not the guarded resource
+        clock.advance(0.1)
+        assert b.allow()  # probe window opened on schedule
+
+
+class TestProbe:
+    def tripped(self, recovery_timeout=1.0):
+        b, clock = breaker(
+            failure_threshold=1, recovery_timeout=recovery_timeout
+        )
+        b.record_failure("trip")
+        return b, clock
+
+    def test_open_blocks_until_recovery_timeout(self):
+        b, clock = self.tripped(recovery_timeout=1.0)
+        assert not b.allow()
+        clock.advance(0.999)
+        assert not b.allow()
+        clock.advance(0.001)
+        assert b.allow()
+        assert b.state() == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        b, clock = self.tripped()
+        clock.advance(1.0)
+        assert b.allow()          # the probe
+        assert not b.allow()      # concurrent caller: wait for the probe
+        assert not b.allow()
+
+    def test_probe_success_closes(self):
+        b, clock = self.tripped()
+        clock.advance(1.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state() == CLOSED
+        assert b.allow()
+        tos = [t["to"] for t in b.transitions]
+        assert tos == [OPEN, HALF_OPEN, CLOSED]
+
+    def test_probe_failure_reopens_and_rearms(self):
+        b, clock = self.tripped()
+        clock.advance(1.0)
+        assert b.allow()
+        b.record_failure("still churning")
+        assert b.state() == OPEN
+        # The recovery clock restarted at the probe failure.
+        clock.advance(0.5)
+        assert not b.allow()
+        clock.advance(0.5)
+        assert b.allow()
+        b.record_success()
+        assert b.state() == CLOSED
+
+    def test_next_probe_available_after_failed_probe_resolves(self):
+        b, clock = self.tripped()
+        clock.advance(1.0)
+        assert b.allow()
+        b.record_failure()
+        clock.advance(1.0)
+        assert b.allow()  # a fresh probe slot, not starved
+
+
+class TestObservability:
+    def test_on_transition_callback_sees_every_change(self):
+        seen = []
+        clock = FakeClock()
+        b = CircuitBreaker(
+            failure_threshold=1,
+            recovery_timeout=1.0,
+            clock=clock,
+            on_transition=lambda frm, to, reason: seen.append((frm, to)),
+        )
+        b.record_failure()
+        clock.advance(1.0)
+        b.allow()
+        b.record_success()
+        assert seen == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+        ]
+
+    def test_to_dict_snapshot(self):
+        b, _ = breaker(failure_threshold=2)
+        b.record_failure()
+        d = b.to_dict()
+        assert d["state"] == CLOSED
+        assert d["failures"] == 1
+        assert d["failure_threshold"] == 2
+        assert d["transitions"] == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_timeout=0.0)
