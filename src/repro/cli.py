@@ -306,6 +306,9 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
         },
         "modes": {},
     }
+    trace_enabled_s = 0.0
+    trace_disabled_s = 0.0
+    trace_identical = True
     for mode in modes:
         engine = BatchedHConvEngine(
             mode=mode,
@@ -363,8 +366,89 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
             },
             "cluster": dict(stats.cluster),
         }
+        if args.trace:
+            from repro.obs import trace as obs_trace
+
+            # Measured-overhead methodology: interleaved traced/untraced
+            # repeats (so clock drift and scheduler noise hit both arms
+            # equally), min-of-N per arm, plus a bit-compare of all three
+            # result paths.
+            tracer = obs_trace.tracer
+            reps = max(1, args.trace_reps)
+            enabled_times = []
+            disabled_times = []
+            traced_out = None
+            untraced_out = None
+            for rep in range(reps):
+                tracer.enable(capacity=65536)
+                t0 = time.perf_counter()
+                with tracer.span("bench.run", mode=mode, rep=rep):
+                    traced_out = engine.conv2d_batch(xs, w, shape, args.n)
+                enabled_times.append(time.perf_counter() - t0)
+                tracer.disable()
+                t0 = time.perf_counter()
+                untraced_out = engine.conv2d_batch(xs, w, shape, args.n)
+                disabled_times.append(time.perf_counter() - t0)
+            identical_traced = bool(
+                np.array_equal(traced_out, batched)
+                and np.array_equal(untraced_out, batched)
+            )
+            trace_enabled_s += min(enabled_times)
+            trace_disabled_s += min(disabled_times)
+            trace_identical = trace_identical and identical_traced
+            trajectory["modes"][mode]["trace_bit_identical"] = (
+                identical_traced
+            )
     if executor is not None:
         executor.close()
+    if args.trace:
+        from repro.obs import trace as obs_trace
+        from repro.obs.export import write_chrome_trace
+
+        tracer = obs_trace.tracer
+        records = tracer.drain()
+        # Disabled-path cost: every instrumented call site pays one no-op
+        # span() while tracing is off; project that onto the span count
+        # of a full traced sweep to bound the disabled overhead fraction.
+        noop_calls = 100000
+        noop_best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for _ in range(noop_calls):
+                tracer.span("bench.noop")
+            noop_best = min(
+                noop_best, (time.perf_counter() - t0) / noop_calls
+            )
+        reps = max(1, args.trace_reps)
+        spans_per_sweep = len(records) / float(reps)
+        if trace_disabled_s > 0:
+            enabled_frac = max(
+                0.0, trace_enabled_s / trace_disabled_s - 1.0
+            )
+            disabled_frac = (
+                spans_per_sweep * noop_best / trace_disabled_s
+            )
+        else:
+            enabled_frac = 0.0
+            disabled_frac = 0.0
+        written = write_chrome_trace(args.trace, records)
+        trajectory["tracing"] = {
+            "enabled_ms": trace_enabled_s * 1e3,
+            "disabled_ms": trace_disabled_s * 1e3,
+            "enabled_overhead_frac": enabled_frac,
+            "disabled_overhead_frac": disabled_frac,
+            "noop_span_ns": noop_best * 1e9,
+            "spans_per_run": spans_per_sweep,
+            "bit_identical": trace_identical,
+        }
+        print(
+            f"\ntracing: {written} spans -> {args.trace}; "
+            f"traced {trace_enabled_s * 1e3:.2f} ms vs "
+            f"untraced {trace_disabled_s * 1e3:.2f} ms "
+            f"(+{enabled_frac:.1%} enabled); noop span "
+            f"{noop_best * 1e9:.0f} ns "
+            f"({disabled_frac:.3%} disabled overhead)"
+        )
     if args.json:
         import json
 
@@ -499,6 +583,38 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
                 f"{recoveries} recovery events in a clean bench run",
             )
 
+    tracing = current.get("tracing")
+    if tracing is not None:
+        # Tracing-overhead gate (ISSUE 10): tracing must be
+        # off-by-default-cheap and bit-transparent when on.
+        max_disabled = gates.get(
+            "max_trace_overhead_disabled", args.max_trace_overhead
+        )
+        max_enabled = gates.get(
+            "max_trace_overhead_enabled", args.max_traced_overhead
+        )
+        print("tracing")
+        check(
+            "tracing", "bit_identical",
+            bool(tracing.get("bit_identical")),
+            f"traced vs untraced results: {tracing.get('bit_identical')}",
+        )
+        disabled_frac = float(tracing.get("disabled_overhead_frac", 1.0))
+        check(
+            "tracing", "disabled_overhead",
+            disabled_frac <= max_disabled,
+            f"{disabled_frac:.4%} projected from "
+            f"{tracing.get('noop_span_ns', 0.0):.0f} ns noop spans "
+            f"(ceiling {max_disabled:.0%})",
+        )
+        enabled_frac = float(tracing.get("enabled_overhead_frac", 1.0))
+        check(
+            "tracing", "enabled_overhead",
+            enabled_frac <= max_enabled,
+            f"{enabled_frac:.2%} measured traced-vs-untraced "
+            f"(ceiling {max_enabled:.0%})",
+        )
+
     if failures:
         print(f"\nbench-check: {len(failures)} regression(s):")
         for failure in failures:
@@ -581,9 +697,25 @@ def _bench_check_serve(
     return EXIT_OK
 
 
+def _trace_artifact_path(json_path: str) -> str:
+    """Flight-recorder dump path derived from a ``--json`` report path
+    (``CHAOS_foo.json`` -> ``CHAOS_foo_trace.json``)."""
+    import os.path
+
+    root, ext = os.path.splitext(json_path)
+    return root + "_trace" + (ext or ".json")
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.chaos import run_campaign
+    from repro.obs import trace as obs_trace
 
+    # The campaign runs with the flight recorder armed so a failed
+    # verdict ships the spans leading up to the failure, not just a
+    # summary count.
+    tracer = obs_trace.tracer
+    tracer.enable(capacity=16384)
+    tracer.clear()
     try:
         report = run_campaign(
             seed=args.seed,
@@ -595,7 +727,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             cluster_workers=args.cluster_workers,
         )
     except ValueError as exc:
+        tracer.disable()
         return usage_error("chaos", str(exc))
+    records = tracer.drain()
+    tracer.disable()
     print(report.describe())
     if args.json:
         import json
@@ -604,6 +739,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
+    trace_path = args.trace
+    if not trace_path and args.json and not report.survived:
+        trace_path = _trace_artifact_path(args.json)
+    if trace_path:
+        from repro.obs.export import write_chrome_trace
+
+        written = write_chrome_trace(trace_path, records)
+        print(f"wrote {trace_path} ({written} spans/events)")
     return EXIT_OK if report.survived else EXIT_FAIL
 
 
@@ -721,13 +864,79 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     except ValueError as exc:
         return usage_error("loadgen", str(exc))
 
-    report = run_loadgen(config, progress=print)
+    from repro.obs import trace as obs_trace
+
+    tracer = obs_trace.tracer
+    tracer.enable(capacity=32768)
+    tracer.clear()
+    try:
+        report = run_loadgen(config, progress=print)
+    finally:
+        records = tracer.drain()
+        tracer.disable()
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True, default=str)
             handle.write("\n")
         print(f"wrote {args.json}")
-    return EXIT_OK if report["verdict"]["ok"] else EXIT_FAIL
+    ok = bool(report["verdict"]["ok"])
+    trace_path = args.trace
+    if not trace_path and args.json and not ok:
+        trace_path = _trace_artifact_path(args.json)
+    if trace_path:
+        from repro.obs.export import write_chrome_trace
+
+        written = write_chrome_trace(trace_path, records)
+        print(f"wrote {trace_path} ({written} spans/events)")
+    return EXIT_OK if ok else EXIT_FAIL
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect / convert a recorded Chrome-trace JSON (see repro.obs)."""
+    import json
+
+    from repro.obs.export import (
+        from_chrome_trace,
+        summarize,
+        write_folded,
+    )
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return usage_error("obs", str(exc))
+    records = from_chrome_trace(doc)
+    if not records:
+        print("obs: empty trace")
+        return EXIT_OK
+    summary = summarize(records)
+    print(
+        f"{summary['spans']} spans / {summary['events']} events across "
+        f"{summary['traces']} traces ({summary['processes']} processes, "
+        f"{summary['orphans']} orphan spans, "
+        f"{summary['truncated']} truncated)"
+    )
+    rows = sorted(
+        summary["by_name"].items(),
+        key=lambda kv: -kv[1]["self_ms"],
+    )
+    for name, agg in rows:
+        print(
+            f"  {name:<32} count {agg['count']:>6}   "
+            f"total {agg['total_ms']:10.2f} ms   "
+            f"self {agg['self_ms']:10.2f} ms"
+        )
+    if args.folded:
+        lines = write_folded(args.folded, records)
+        print(f"wrote {args.folded} ({lines} folded stacks)")
+    if args.check_stitch and summary["orphans"]:
+        print(
+            f"obs: {summary['orphans']} orphan span(s) -- trace does not "
+            f"stitch into rooted trees", file=sys.stderr,
+        )
+        return EXIT_FAIL
+    return EXIT_OK
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -877,6 +1086,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", default="", metavar="PATH",
                    help="also write the benchmark trajectory as JSON")
+    p.add_argument("--trace", default="", metavar="PATH",
+                   help="re-run each mode with tracing enabled, write a "
+                        "Chrome-trace JSON, and record the measured "
+                        "tracing overhead in the trajectory")
+    p.add_argument("--trace-reps", type=int, default=5,
+                   help="interleaved traced/untraced repeats for the "
+                        "overhead measurement (min per arm; default 5)")
 
     p = sub.add_parser(
         "bench-check",
@@ -905,6 +1121,17 @@ def build_parser() -> argparse.ArgumentParser:
              "mode, bare X for all); extends the baseline's 'gates' "
              "section and fails the build when violated",
     )
+    p.add_argument(
+        "--max-trace-overhead", type=float, default=0.03,
+        help="ceiling on the projected disabled-tracing overhead "
+             "fraction when the current run carries a 'tracing' section "
+             "(default 0.03)",
+    )
+    p.add_argument(
+        "--max-traced-overhead", type=float, default=0.10,
+        help="ceiling on the measured enabled-tracing overhead fraction "
+             "(default 0.10)",
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -928,6 +1155,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pool width for the cluster probe")
     p.add_argument("--json", default="", metavar="PATH",
                    help="also write the campaign report as JSON")
+    p.add_argument("--trace", default="", metavar="PATH",
+                   help="always dump the flight recorder as Chrome-trace "
+                        "JSON (a FAILED verdict with --json dumps to "
+                        "<json>_trace.json automatically)")
 
     p = sub.add_parser(
         "serve",
@@ -988,6 +1219,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breaker-recovery-s", type=float, default=0.2)
     p.add_argument("--json", default="", metavar="PATH",
                    help="write the BENCH_serve.json report")
+    p.add_argument("--trace", default="", metavar="PATH",
+                   help="always dump the flight recorder as Chrome-trace "
+                        "JSON (a FAILED verdict with --json dumps to "
+                        "<json>_trace.json automatically)")
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect/convert a recorded Chrome-trace JSON "
+             "(per-span profile, flamegraph folds, stitch check)",
+    )
+    p.add_argument(
+        "trace", metavar="TRACE_JSON",
+        help="Chrome-trace JSON written by --trace or a flight-recorder "
+             "incident dump",
+    )
+    p.add_argument(
+        "--folded", default="", metavar="PATH",
+        help="also write flamegraph-folded stacks (flamegraph.pl / "
+             "speedscope input)",
+    )
+    p.add_argument(
+        "--check-stitch", action="store_true",
+        help="exit 1 if any span's parent is missing from the trace "
+             "(orphan): cross-process stitching verification",
+    )
 
     p = sub.add_parser(
         "lint", help="domain-aware static analysis (MOD/DTYPE/HYG/BW rules)"
@@ -1037,6 +1293,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "obs": _cmd_obs,
     "lint": _cmd_lint,
 }
 

@@ -15,6 +15,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
+
 from repro.cluster.jobs import (
     MSG_JOB_CONV,
     MSG_JOB_MUL,
@@ -124,6 +126,20 @@ class ClusterExecutor:
                 payload["deadline_ms"] = max(1.0, float(deadline_s) * 1e3)
         return payloads
 
+    @staticmethod
+    def _stamp_trace(
+        payloads: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Attach the caller's trace context to every job envelope.
+
+        Same discipline as ``deadline_ms``: workers strip the key before
+        execution, run the job under a span parented to it, and ship the
+        recorded spans back *beside* the result data, so traced results
+        stay byte-identical to untraced runs.  No-op when tracing is off
+        or no span is active.
+        """
+        return obs_trace.stamp_trace_context(payloads)
+
     def conv2d_batch(
         self,
         mode: str,
@@ -154,7 +170,7 @@ class ClusterExecutor:
             ],
             deadline_s,
         )
-        replies = self._run(MSG_JOB_CONV, payloads)
+        replies = self._run(MSG_JOB_CONV, self._stamp_trace(payloads))
         return np.concatenate([reply["out"] for reply in replies])
 
     def multiply_many(
@@ -224,7 +240,7 @@ class ClusterExecutor:
             ],
             deadline_s,
         )
-        replies = self._run(MSG_JOB_MUL, payloads)
+        replies = self._run(MSG_JOB_MUL, self._stamp_trace(payloads))
         outs: List[bytes] = []
         for reply in replies:
             outs.extend(reply["polys"])

@@ -39,6 +39,8 @@ from multiprocessing import get_context
 from multiprocessing.connection import wait as _wait_connections
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs import trace as obs_trace
+
 from repro.cluster.jobs import (
     MSG_ERROR,
     MSG_PING,
@@ -265,6 +267,8 @@ class _WorkerHandle:
         self.conn = conn
         self.busy_job: Optional[int] = None  # job index, None when idle
         self.busy_id: Optional[int] = None   # envelope job id of busy_job
+        self.busy_ctx = None                 # trace context of busy_job
+        self.busy_since: float = 0.0         # dispatch time of busy_job
         self.deadline: float = float("inf")
         self.counters_seen: Dict[str, int] = {}
 
@@ -275,6 +279,8 @@ class _WorkerHandle:
     def clear(self) -> None:
         self.busy_job = None
         self.busy_id = None
+        self.busy_ctx = None
+        self.busy_since = 0.0
         self.deadline = float("inf")
 
 
@@ -572,6 +578,10 @@ class ClusterSupervisor:
                 if index is None or done[index]:
                     self.stats.duplicate_results += 1
                 else:
+                    if isinstance(payload, dict) and "spans" in payload:
+                        # Worker-side spans shipped beside the result
+                        # data: stitch them into this process's trace.
+                        obs_trace.tracer.ingest(payload.pop("spans"))
                     results[index] = payload
                     done[index] = True
                 if handle.busy_id == job_id:
@@ -642,6 +652,29 @@ class ClusterSupervisor:
                 try:
                     handle.conn.send_bytes(frame)
                 except (BrokenPipeError, OSError):
+                    # The worker died between selection and dispatch, so
+                    # busy_* was never set: mark the aborted job here --
+                    # _recover_worker sees an idle handle and records
+                    # nothing for it.
+                    tracer = obs_trace.tracer
+                    if tracer.enabled:
+                        now = time.monotonic()
+                        tracer.record_span(
+                            "cluster.job",
+                            start_s=now,
+                            end_s=now,
+                            parent=payload.get(obs_trace.TRACE_CTX_KEY),
+                            status="truncated",
+                            slot=handle.slot,
+                            job_index=index,
+                        )
+                        tracer.event(
+                            "cluster.worker_death",
+                            parent=payload.get(obs_trace.TRACE_CTX_KEY),
+                            incident=True,
+                            slot=handle.slot,
+                            incarnation=handle.incarnation,
+                        )
                     self._recover_worker(
                         handle, handle_reply, requeue_or_dead_letter
                     )
@@ -650,6 +683,8 @@ class ClusterSupervisor:
                 self.stats.dispatches += 1
                 handle.busy_job = index
                 handle.busy_id = job_id
+                handle.busy_ctx = payload.get("_trace_ctx")
+                handle.busy_since = time.monotonic()
                 # Per-job deadline: a job carrying a request SLO budget
                 # ("deadline_ms", set by the serving layer) arms a tighter
                 # hang deadline than the pool-wide heartbeat, so a stuck
@@ -745,6 +780,28 @@ class ClusterSupervisor:
             pass
         self.stats.worker_deaths += 1
         in_flight = handle.busy_job
+        tracer = obs_trace.tracer
+        if tracer.enabled and in_flight is not None:
+            # The worker died (or hung past its deadline) mid-span: its
+            # own records are lost with the process, so mark the gap with
+            # a truncated span rather than leaving the trace dangling.
+            now = time.monotonic()
+            tracer.record_span(
+                "cluster.job",
+                start_s=handle.busy_since or now,
+                end_s=now,
+                parent=handle.busy_ctx,
+                status="truncated",
+                slot=handle.slot,
+                job_index=in_flight,
+            )
+            tracer.event(
+                "cluster.worker_death",
+                parent=handle.busy_ctx,
+                incident=True,
+                slot=handle.slot,
+                incarnation=handle.incarnation,
+            )
         self._dispose(handle)
         replacement = self._respawn(handle.slot)
         if replacement is None:

@@ -45,6 +45,7 @@ from repro.cluster.jobs import (
     shape_from_wire,
 )
 from repro.faults.channel import ChecksumError
+from repro.obs import trace as obs_trace
 
 
 class WorkerState:
@@ -236,6 +237,9 @@ def worker_main(conn, slot: int, incarnation: int) -> None:
         slot: pool slot index (stable across respawns; for diagnostics).
         incarnation: how many processes have occupied this slot before.
     """
+    # A forked child may inherit the parent's tracer with its lock held
+    # by another thread; rebind a fresh one before anything can touch it.
+    obs_trace.reset_for_fork()
     state = WorkerState()
     while True:
         try:
@@ -272,17 +276,24 @@ def worker_main(conn, slot: int, incarnation: int) -> None:
         # keys the execution code must never see.
         hang_s = 0.0
         duplicate = False
+        trace_ctx = None
         if isinstance(payload, dict):
             hang_s = float(payload.pop("_inject_hang_s", 0.0))
             duplicate = bool(payload.pop("_inject_duplicate", False))
             payload.pop("deadline_ms", None)  # armed supervisor-side
+            trace_ctx = obs_trace.pop_trace_context(payload)
         if hang_s > 0.0:
             time.sleep(hang_s)  # simulated hang: the supervisor's deadline fires
 
+        spans = None
         try:
             if kind == MSG_WARMUP:
                 execute_job(payload["job_kind"], payload["job"], state)
                 reply = {"warmed": True}
+            elif trace_ctx is not None:
+                reply, spans = _traced_execute(
+                    kind, payload, state, trace_ctx, slot
+                )
             else:
                 reply = execute_job(kind, payload, state)
         except WireDecodeError as exc:
@@ -296,13 +307,40 @@ def worker_main(conn, slot: int, incarnation: int) -> None:
                 "counters": state.counters(),
             }))
             continue
-        message = encode_message(MSG_RESULT, job_id, {
-            "data": reply, "counters": state.counters(),
-        })
+        envelope = {"data": reply, "counters": state.counters()}
+        if spans:
+            # Spans travel beside -- never inside -- the result data, so
+            # traced results stay byte-identical to untraced runs.
+            envelope["spans"] = spans
+        message = encode_message(MSG_RESULT, job_id, envelope)
         _safe_send(conn, message)
         if duplicate:
             _safe_send(conn, message)  # exercises exactly-once discard
     conn.close()
+
+
+def _traced_execute(kind, payload, state, trace_ctx, slot):
+    """Run one job under a ``cluster.job`` span parented to the caller.
+
+    The worker-local tracer is enabled only for the duration of the job;
+    its buffer is drained into the reply so the supervisor can stitch
+    the worker's spans (engine stage timers included, via the per-thread
+    span stack) into the request's trace.
+    """
+    tracer = obs_trace.tracer
+    was_enabled = tracer.enabled
+    if not was_enabled:
+        tracer.enable(capacity=512)
+        tracer.clear()
+    try:
+        with tracer.span("cluster.job", parent=trace_ctx, kind=kind,
+                         slot=slot):
+            reply = execute_job(kind, payload, state)
+    finally:
+        spans = tracer.drain()
+        if not was_enabled:
+            tracer.disable()
+    return reply, spans
 
 
 def _safe_send(conn, data: bytes) -> bool:

@@ -17,6 +17,7 @@ import numpy as np
 from repro.fftcore.approx_pipeline import ApproxNegacyclic, ApproxSpectrum
 from repro.fftcore.fixed_point import ApproxFftConfig
 from repro.he.poly import RingPoly
+from repro.obs import trace as obs_trace
 
 #: Default byte budget for the bounded weight-spectrum caches.  Generous for
 #: every test/benchmark workload, but finite: the old ad-hoc dict caches
@@ -34,6 +35,7 @@ class PolyMulBackend:
 class NttPolyMulBackend(PolyMulBackend):
     """Exact product via the per-prime negacyclic NTT (the baseline)."""
 
+    @obs_trace.traced("he.ntt_multiply")
     def multiply(self, poly: RingPoly, weights: np.ndarray) -> RingPoly:
         w = RingPoly.from_signed(poly.basis, weights)
         return poly * w
@@ -93,6 +95,7 @@ class CachedNttBackend(PolyMulBackend):
 
         return self._spectra.get_or_build((basis.n, weights.tobytes()), build)
 
+    @obs_trace.traced("he.cached_ntt_multiply")
     def multiply(self, poly: RingPoly, weights: np.ndarray) -> RingPoly:
         from repro.ntt.modmath import mulmod
         from repro.ntt.ntt import get_ntt
@@ -163,6 +166,7 @@ class FftPolyMulBackend(PolyMulBackend):
             lambda: ApproxNegacyclic(n, cfg),
         )
 
+    @obs_trace.traced("he.weight_spectrum")
     def weight_spectrum(self, n: int, weights: np.ndarray) -> ApproxSpectrum:
         """Cached approximate forward transform of a weight polynomial."""
         weights = np.ascontiguousarray(weights, dtype=np.int64)
@@ -180,6 +184,7 @@ class FftPolyMulBackend(PolyMulBackend):
     def clear_cache(self) -> None:
         self._spectrum_cache.clear()
 
+    @obs_trace.traced("he.fft_multiply")
     def multiply(self, poly: RingPoly, weights: np.ndarray) -> RingPoly:
         n = poly.basis.n
         q = poly.basis.modulus

@@ -37,6 +37,7 @@ CONCURRENCY_SCOPES = (
     "repro.faults",
     "repro.protocol",
     "repro.serve",
+    "repro.obs",
 )
 
 #: Rule IDs that `python -m repro lint --concurrency` selects.

@@ -1,0 +1,231 @@
+"""Exporters and analysis over flight-recorder records.
+
+Two output formats:
+
+- **Chrome trace** (``chrome://tracing`` / Perfetto): span records
+  become ``"ph": "X"`` complete events (``ts``/``dur`` in microseconds,
+  rebased so the earliest record starts at 0), events become
+  ``"ph": "i"`` instants.  The trace/span/parent ids travel in ``args``
+  so :func:`from_chrome_trace` can reconstruct the records exactly --
+  the ``python -m repro obs`` analyzer and the stitching tests run on
+  round-tripped files.
+
+- **Flamegraph folded** stacks (``a;b;c <self-time-us>`` lines, one per
+  unique root-to-span path, self time = duration minus recorded
+  children), consumable by ``flamegraph.pl`` / speedscope.
+
+:func:`forest` groups spans per trace id and classifies roots vs
+orphans (a span whose parent id is absent from the record set) -- the
+acceptance check for cross-process stitching.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+_CORE_ARGS = ("trace", "span", "parent", "status")
+
+
+def to_chrome_trace(records: List[dict]) -> dict:
+    """Render records as a ``chrome://tracing`` JSON object."""
+    events = []
+    if records:
+        t0 = min(float(r.get("ts", 0.0)) for r in records)
+    else:
+        t0 = 0.0
+    for r in records:
+        args = {
+            "trace": r.get("trace"),
+            "span": r.get("span"),
+            "parent": r.get("parent"),
+            "status": r.get("status", "ok"),
+            "ts_monotonic_s": r.get("ts"),
+        }
+        for key, value in (r.get("attrs") or {}).items():
+            if key not in args:
+                args[key] = value
+        event = {
+            "name": str(r.get("name", "?")),
+            "cat": str(r.get("kind", "span")),
+            "ph": "i" if r.get("kind") == "event" else "X",
+            "ts": (float(r.get("ts", 0.0)) - t0) * 1e6,
+            "pid": int(r.get("pid", 0)),
+            "tid": int(r.get("tid", 0)),
+            "args": args,
+        }
+        if event["ph"] == "X":
+            event["dur"] = float(r.get("dur", 0.0)) * 1e6
+        else:
+            event["s"] = "p"  # process-scoped instant
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, records: List[dict]) -> int:
+    """Write the Chrome-trace JSON; returns the number of records."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(records), handle)
+    return len(records)
+
+
+def from_chrome_trace(doc: dict) -> List[dict]:
+    """Inverse of :func:`to_chrome_trace` (timestamps stay rebased)."""
+    records = []
+    for event in doc.get("traceEvents", []):
+        if not isinstance(event, dict):
+            continue
+        args = event.get("args") or {}
+        ts = args.get("ts_monotonic_s")
+        if not isinstance(ts, (int, float)):
+            ts = float(event.get("ts", 0.0)) * 1e-6
+        records.append({
+            "name": event.get("name", "?"),
+            "trace": args.get("trace"),
+            "span": args.get("span"),
+            "parent": args.get("parent"),
+            "ts": float(ts),
+            "dur": float(event.get("dur", 0.0)) * 1e-6,
+            "pid": int(event.get("pid", 0)),
+            "tid": int(event.get("tid", 0)),
+            "thread": "",
+            "status": args.get("status", "ok"),
+            "kind": "event" if event.get("ph") == "i" else "span",
+            "attrs": {
+                k: v for k, v in args.items() if k not in _CORE_ARGS
+                and k != "ts_monotonic_s"
+            },
+        })
+    return records
+
+
+def read_chrome_trace(path: str) -> List[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_chrome_trace(json.load(handle))
+
+
+# ---------------------------------------------------------------------------
+# Analysis
+# ---------------------------------------------------------------------------
+
+
+def forest(records: List[dict]) -> Dict[object, dict]:
+    """Group spans per trace: roots, orphans, and participating pids.
+
+    An *orphan* has a parent id that no span in the record set carries --
+    for a stitched cross-process trace there must be none, and exactly
+    one root per request trace.
+    """
+    spans = [r for r in records if r.get("kind", "span") == "span"]
+    by_trace: Dict[object, List[dict]] = {}
+    for r in spans:
+        by_trace.setdefault(r.get("trace"), []).append(r)
+    out: Dict[object, dict] = {}
+    for trace_id, rows in by_trace.items():
+        ids = {r.get("span") for r in rows}
+        roots = [r for r in rows if r.get("parent") is None]
+        orphans = [
+            r for r in rows
+            if r.get("parent") is not None and r.get("parent") not in ids
+        ]
+        out[trace_id] = {
+            "spans": rows,
+            "roots": roots,
+            "orphans": orphans,
+            "pids": sorted({int(r.get("pid", 0)) for r in rows}),
+        }
+    return out
+
+
+def _self_times_us(spans: Dict[object, dict]) -> Dict[object, float]:
+    children_dur: Dict[object, float] = {}
+    for r in spans.values():
+        parent = r.get("parent")
+        if parent in spans:
+            children_dur[parent] = (
+                children_dur.get(parent, 0.0) + float(r.get("dur", 0.0))
+            )
+    return {
+        sid: max(
+            0.0, float(r.get("dur", 0.0)) - children_dur.get(sid, 0.0)
+        ) * 1e6
+        for sid, r in spans.items()
+    }
+
+
+def _stack_of(record: dict, spans: Dict[object, dict]) -> str:
+    path = []
+    cursor: Optional[dict] = record
+    guard = 0
+    while cursor is not None and guard < 64:
+        path.append(str(cursor.get("name", "?")))
+        parent = cursor.get("parent")
+        cursor = spans.get(parent) if parent is not None else None
+        guard += 1
+    return ";".join(reversed(path))
+
+
+def to_folded(records: List[dict]) -> str:
+    """Flamegraph-folded stacks: ``root;child;leaf <self-us>`` lines."""
+    spans = {
+        r.get("span"): r
+        for r in records if r.get("kind", "span") == "span"
+    }
+    self_us = _self_times_us(spans)
+    lines: Dict[str, float] = {}
+    for sid, r in spans.items():
+        stack = _stack_of(r, spans)
+        lines[stack] = lines.get(stack, 0.0) + self_us[sid]
+    return "\n".join(
+        "%s %d" % (stack, int(round(us)))
+        for stack, us in sorted(lines.items())
+    )
+
+
+def write_folded(path: str, records: List[dict]) -> int:
+    folded = to_folded(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(folded + ("\n" if folded else ""))
+    return len(folded.splitlines())
+
+
+def summarize(records: List[dict]) -> dict:
+    """Per-name aggregates plus forest-level stitching stats."""
+    spans = {
+        r.get("span"): r
+        for r in records if r.get("kind", "span") == "span"
+    }
+    self_us = _self_times_us(spans)
+    by_name: Dict[str, Dict[str, float]] = {}
+    for sid, r in spans.items():
+        row = by_name.setdefault(
+            str(r.get("name", "?")),
+            {"count": 0, "total_ms": 0.0, "self_ms": 0.0},
+        )
+        row["count"] += 1
+        row["total_ms"] += float(r.get("dur", 0.0)) * 1e3
+        row["self_ms"] += self_us[sid] * 1e-3
+    groves = forest(records)
+    return {
+        "spans": len(spans),
+        "events": sum(1 for r in records if r.get("kind") == "event"),
+        "traces": len(groves),
+        "orphans": sum(len(g["orphans"]) for g in groves.values()),
+        "truncated": sum(
+            1 for r in spans.values() if r.get("status") == "truncated"
+        ),
+        "processes": len({r.get("pid") for r in spans.values()}),
+        "by_name": by_name,
+    }
+
+
+__all__ = [
+    "forest",
+    "from_chrome_trace",
+    "read_chrome_trace",
+    "summarize",
+    "to_chrome_trace",
+    "to_folded",
+    "write_chrome_trace",
+    "write_folded",
+]

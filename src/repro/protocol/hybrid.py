@@ -30,6 +30,7 @@ from repro.encoding.linear_encoding import LinearEncoder, LinearShape
 from repro.he.backend import FftPolyMulBackend, PolyMulBackend
 from repro.he.bfv import BfvContext, Ciphertext, PublicKey, SecretKey
 from repro.he.params import BfvParameters
+from repro.obs import trace as obs_trace
 from repro.protocol.secret_sharing import ShareRing
 from repro.protocol.wire import ciphertext_bytes
 
@@ -145,6 +146,12 @@ class _ResilientProtocolMixin:
         """
         if self.transport is None:
             return ct
+        with obs_trace.tracer.span("protocol.transfer"):
+            return self._transfer_ct_routed(ct, stats)
+
+    def _transfer_ct_routed(
+        self, ct: Ciphertext, stats: ProtocolStats
+    ) -> Ciphertext:
         before = self.transport.stats
         base = (
             before.retries,
@@ -245,6 +252,7 @@ class HybridConvProtocol(_ResilientProtocolMixin):
             layer_name=self.layer_name,
         )
 
+    @obs_trace.traced("protocol.conv")
     def run(
         self,
         x: np.ndarray,
@@ -353,6 +361,7 @@ class HybridConvProtocol(_ResilientProtocolMixin):
             stats=stats,
         )
 
+    @obs_trace.traced("protocol.conv_batch")
     def run_batch(
         self,
         xs: np.ndarray,
@@ -495,6 +504,7 @@ class HybridConvProtocol(_ResilientProtocolMixin):
             for item in range(batch)
         ]
 
+    @obs_trace.traced("protocol.phase_batch")
     def _run_phase_batch(
         self,
         party: _PartyPair,
@@ -590,6 +600,7 @@ class HybridConvProtocol(_ResilientProtocolMixin):
             results.append((y_client, y_server))
         return results
 
+    @obs_trace.traced("protocol.phase")
     def _run_phase(
         self,
         party: _PartyPair,
@@ -725,6 +736,7 @@ class HybridLinearProtocol(_ResilientProtocolMixin):
             layer_name=self.layer_name,
         )
 
+    @obs_trace.traced("protocol.linear")
     def run(
         self,
         x: np.ndarray,

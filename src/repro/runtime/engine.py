@@ -42,6 +42,7 @@ from repro.he.backend import FftPolyMulBackend, NttPolyMulBackend
 from repro.he.poly import RingPoly
 from repro.ntt import find_ntt_primes, get_ntt
 from repro.ntt.modmath import centered, from_centered, mulmod
+from repro.obs import trace as obs_trace
 from repro.runtime.plan_cache import PlanCache, approx_config_key
 
 #: Float64 keeps integers exact below this; larger rounded values take the
@@ -199,16 +200,24 @@ class RuntimeStats:
 
 
 class _Timer:
+    """Stage timer that doubles as a ``runtime.<stage>`` trace span.
+
+    The span is a no-op singleton while tracing is disabled, so the
+    stage-accounting hot path stays as cheap as before.
+    """
+
     def __init__(self, stats: RuntimeStats, stage: str):
         self._stats = stats
         self._stage = stage
 
     def __enter__(self):
+        self._span = obs_trace.tracer.span("runtime." + self._stage)
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc):
         self._stats.add(self._stage, time.perf_counter() - self._t0)
+        self._span.end("error" if exc and exc[0] is not None else "ok")
         return False
 
 
@@ -482,6 +491,7 @@ class BatchedHConvEngine:
 
     # -- batched convolution --------------------------------------------
 
+    @obs_trace.traced("runtime.conv2d_batch")
     def conv2d_batch(
         self,
         xs: np.ndarray,
@@ -777,6 +787,7 @@ class BatchedNttBackend(NttPolyMulBackend):
             ),
         )
 
+    @obs_trace.traced("runtime.multiply_many")
     def multiply_many(
         self, polys: List[RingPoly], weights_list: List[np.ndarray]
     ) -> List[RingPoly]:
@@ -888,6 +899,7 @@ class BatchedFftBackend(FftPolyMulBackend):
         )
         return rows, {}
 
+    @obs_trace.traced("runtime.multiply_many")
     def multiply_many(
         self, polys: List[RingPoly], weights_list: List[np.ndarray]
     ) -> List[RingPoly]:

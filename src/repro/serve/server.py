@@ -55,6 +55,12 @@ from repro.cluster.jobs import (
 from repro.cluster.worker import WorkerState, execute_job
 from repro.faults.channel import ChecksumError
 from repro.faults.guard import BudgetGuard
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import (
+    MetricsRegistry,
+    absorb_cluster_stats,
+    absorb_serve_stats,
+)
 from repro.serve.admission import AdmissionController
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.messages import (
@@ -139,7 +145,7 @@ class _PendingRequest:
 
     __slots__ = (
         "request_id", "kind", "tenant", "payload", "deadline_at",
-        "received_at", "group_key", "reply", "_lock", "_done",
+        "received_at", "group_key", "trace_ctx", "reply", "_lock", "_done",
     )
 
     def __init__(
@@ -151,6 +157,7 @@ class _PendingRequest:
         deadline_at: Optional[float],
         received_at: float,
         group_key: tuple,
+        trace_ctx: Optional[tuple] = None,
     ):
         self.request_id = request_id
         self.kind = kind
@@ -159,6 +166,7 @@ class _PendingRequest:
         self.deadline_at = deadline_at
         self.received_at = received_at
         self.group_key = group_key
+        self.trace_ctx = trace_ctx
         self.reply: Optional[bytes] = None
         self._lock = threading.Lock()
         self._done = threading.Event()
@@ -241,11 +249,16 @@ class InferenceServer:
             ladder_recover_after=self.config.ladder_recover_after,
             clock=clock,
         )
+        self.metrics = MetricsRegistry()
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_failures,
             recovery_timeout=self.config.breaker_recovery_s,
             clock=clock,
-            on_transition=self.stats.record_breaker_transition,
+            on_transition=self._on_breaker_transition,
+        )
+        self.metrics.set_gauge("serve_breaker_state_code", 0.0)
+        self.metrics.set_gauge(
+            "serve_breaker_last_transition_s", float(self._clock())
         )
         self._estimator = _ServiceEstimator()
         # Queue + closing flag share one condition variable ("the lock").
@@ -285,6 +298,27 @@ class InferenceServer:
 
     # -- health / introspection ------------------------------------------
 
+    _BREAKER_STATE_CODES = {"closed": 0.0, "open": 1.0, "half_open": 2.0}
+
+    def _on_breaker_transition(self, frm: str, to: str, reason: str) -> None:
+        """Breaker callback (invoked outside the breaker lock): mirror the
+        transition into :class:`ServeStats` (existing behavior) and the
+        unified registry, and flag trips to the flight recorder."""
+        self.stats.record_breaker_transition(frm, to, reason)
+        self.metrics.set_gauge(
+            "serve_breaker_state_code",
+            self._BREAKER_STATE_CODES.get(to, -1.0),
+        )
+        self.metrics.set_gauge(
+            "serve_breaker_last_transition_s", float(self._clock())
+        )
+        self.metrics.inc("serve_breaker_transitions_total", to=to)
+        obs_trace.tracer.event(
+            "serve.breaker_transition",
+            incident=(to == "open"),
+            frm=frm, to=to, reason=reason,
+        )
+
     def ready(self) -> bool:
         """Readiness: accepting and with admission headroom."""
         with self._lock:
@@ -298,20 +332,45 @@ class InferenceServer:
         """Liveness snapshot served to ``serve-ping`` probes."""
         with self._lock:
             closing = self._closing
+        last_transition_s = self.metrics.gauge_value(
+            "serve_breaker_last_transition_s", default=self.stats.started_at
+        )
         return {
             "status": "closing" if closing else "ok",
             "ready": self.ready(),
             "depth": self.admission.depth(),
             "breaker": self.breaker.state(),
+            "breaker_state_age_s": max(
+                0.0, float(self._clock()) - float(last_transition_s)
+            ),
+            "breaker_last_transition": self.stats.last_breaker_transition(),
             "p50_ms": self.stats.p50_ms(),
             "p99_ms": self.stats.p99_ms(),
             "shed": self.stats.shed_total(),
             "completed": self.stats.completed,
+            "metrics": self.metrics_dict(),
         }
 
     def stats_dict(self) -> Dict[str, Any]:
         """Full :class:`ServeStats` snapshot with live in-flight count."""
         return self.stats.to_dict(in_flight=self.admission.depth())
+
+    def metrics_dict(self) -> Dict[str, Any]:
+        """Unified-registry snapshot (JSON form), adapters refreshed.
+
+        The existing stats objects stay authoritative; this projects
+        their current values into the registry so one endpoint carries
+        counters, gauges and fixed-bucket histograms together.
+        """
+        absorb_serve_stats(self.metrics, self.stats_dict())
+        if self.cluster is not None:
+            absorb_cluster_stats(self.metrics, self.cluster.stats)
+        return self.metrics.to_dict()
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of :meth:`metrics_dict`."""
+        self.metrics_dict()
+        return self.metrics.to_text()
 
     # -- request entry point ---------------------------------------------
 
@@ -331,17 +390,24 @@ class InferenceServer:
     # -- acceptor side ----------------------------------------------------
 
     def _accept(self, frame: bytes) -> bytes:
+        span = obs_trace.tracer.span("serve.request")
+        with span:
+            return self._accept_inner(frame, span)
+
+    def _accept_inner(self, frame: bytes, span) -> bytes:
         now = self._clock()
         try:
             kind, request_id, payload = decode_request(frame)
         except (ChecksumError, ValueError) as exc:
             self.stats.record_wire_error()
             return error_reply(0, f"wire error: {exc}")
+        span.set(kind=kind, request_id=request_id)
 
         if kind == REQ_PING:
             return pong_reply(request_id, self.health())
 
         tenant = str(payload.get("tenant", "anonymous"))
+        span.set(tenant=tenant)
         self.stats.record_received(tenant)
         with self._lock:
             closing = self._closing
@@ -379,6 +445,7 @@ class InferenceServer:
             deadline_at=deadline_at,
             received_at=now,
             group_key=est_key,
+            trace_ctx=span.context(),
         )
         enqueued = False
         with self._lock:
@@ -573,6 +640,9 @@ class InferenceServer:
             self.stats.record_completed(
                 pending.tenant, latency, degraded=degraded
             )
+            self.metrics.observe(
+                "serve_request_latency_ms", latency * 1e3, kind=pending.kind
+            )
             if not degraded:
                 self.admission.note_clean_completion(pending.tenant)
 
@@ -601,12 +671,37 @@ class InferenceServer:
         if deadlines:
             deadline_s = max(0.001, min(deadlines))
         started = self._clock()
-        if live[0][0].kind == REQ_CONV:
-            self._execute_conv_batch(live, deadline_s)
-        else:
-            self._execute_mul_batch(live, deadline_s)
+        # The batch span runs on the coalescer thread, parented to the
+        # head request's root span; the cluster executor stamps it onto
+        # job envelopes, which is what stitches worker-process spans into
+        # this request tree.
+        with obs_trace.tracer.span(
+            "serve.batch",
+            parent=live[0][0].trace_ctx,
+            size=len(live),
+            kind=live[0][0].kind,
+        ):
+            if live[0][0].kind == REQ_CONV:
+                self._execute_conv_batch(live, deadline_s)
+            else:
+                self._execute_mul_batch(live, deadline_s)
         elapsed = self._clock() - started
         self._estimator.update(live[0][0].group_key, elapsed)
+        tracer = obs_trace.tracer
+        if tracer.enabled:
+            # One execute span per coalesced request, parented to its own
+            # root, so every request trace is a single connected tree even
+            # though the physical execution was shared.
+            for pending, _mode, _degraded in live:
+                tracer.record_span(
+                    "serve.execute",
+                    start_s=started,
+                    end_s=started + elapsed,
+                    parent=pending.trace_ctx,
+                    batch=len(live),
+                )
+        self.metrics.observe("serve_batch_ms", elapsed * 1e3)
+        self.metrics.inc("serve_batches_total")
 
     def _cluster_allowed(self) -> bool:
         return self.cluster is not None and self.breaker.allow()

@@ -202,6 +202,14 @@ class ServeStats:
 
     # -- reading ----------------------------------------------------------
 
+    def last_breaker_transition(self) -> Optional[Dict[str, object]]:
+        """Most recent breaker transition record, or ``None`` if the
+        breaker has never changed state."""
+        with self._lock:
+            if not self.breaker_transitions:
+                return None
+            return dict(self.breaker_transitions[-1])
+
     def p50_ms(self) -> float:
         with self._lock:
             return self._latency.percentile(50.0) * 1e3
